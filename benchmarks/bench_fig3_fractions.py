@@ -1,0 +1,60 @@
+"""Figure 3 — fraction of factorization time in MTTKRP vs ADMM.
+
+The paper runs a rank-50 non-negative factorization of each corpus with
+the *unblocked* parallel AO-ADMM and reports the per-kernel time shares.
+We (a) measure the shares on the scaled instances, and (b) compute the
+full-scale shares from the machine model's cost descriptors.  Expected
+shape: NELL is ADMM-dominated; Amazon and Patents MTTKRP-dominated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.bench import format_table
+from repro.machine import FactorizationWorkload, factorization_time
+
+from conftest import BENCH_SEED, DATASET_NAMES, save_artifact
+
+RANK = 50
+OUTER_ITERS = 6
+
+
+def run_fig3(small_datasets) -> tuple[str, dict]:
+    rows = []
+    measured = {}
+    for name in DATASET_NAMES:
+        tensor = small_datasets[name]
+        result = fit_aoadmm(tensor, AOADMMOptions(
+            rank=RANK, constraints="nonneg", blocked=False,
+            seed=BENCH_SEED, max_outer_iterations=OUTER_ITERS,
+            outer_tolerance=0.0))
+        fr = result.trace.time_fractions()
+        measured[name] = fr
+
+        workload = FactorizationWorkload.from_spec(name, rank=RANK)
+        sim = factorization_time(workload, threads=1,
+                                 blocked=False).fractions()
+        rows.append({
+            "Dataset": name.capitalize(),
+            "MTTKRP (measured)": f"{fr['mttkrp']:.2f}",
+            "ADMM (measured)": f"{fr['admm']:.2f}",
+            "OTHER (measured)": f"{fr['other']:.2f}",
+            "MTTKRP (full-scale model)": f"{sim['mttkrp']:.2f}",
+            "ADMM (full-scale model)": f"{sim['admm']:.2f}",
+        })
+    text = format_table(
+        rows, title=f"Figure 3: fraction of factorization time "
+                    f"(rank-{RANK} non-negative, unblocked baseline)")
+    return text, measured
+
+
+def test_fig3_fractions(benchmark, small_datasets, results_dir):
+    text, measured = benchmark.pedantic(
+        run_fig3, args=(small_datasets,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig3_fractions", text)
+    # Paper shape: NELL ADMM-dominated, Amazon/Patents MTTKRP-dominated.
+    assert measured["nell"]["admm"] > measured["nell"]["mttkrp"]
+    assert measured["amazon"]["mttkrp"] > 0.5
+    assert measured["patents"]["mttkrp"] > 0.5

@@ -1,0 +1,64 @@
+"""Figure 4 — parallel speedup of the baseline (unblocked) AO-ADMM.
+
+Pipeline: run a short *real* factorization of each scaled corpus to
+measure the per-mode inner-iteration profile, feed the full-scale
+workload descriptors plus that profile into the simulated 2x10-core Xeon,
+and sweep the paper's thread counts.
+
+Paper result: speedups range from 5.4x (NELL, ADMM-dominated) to 12.7x
+(Patents, MTTKRP-dominated) at 20 threads — MTTKRP-heavy datasets scale
+best for the baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.bench import format_table
+from repro.machine import (
+    FactorizationWorkload,
+    THREAD_SWEEP,
+    measured_profile,
+    speedup_curve,
+)
+
+from conftest import BENCH_SEED, DATASET_NAMES, save_artifact
+
+RANK = 50
+PAPER_AT_20 = {"nell": 5.4, "patents": 12.7}
+
+
+def run_fig4(small_datasets) -> tuple[str, dict]:
+    rows = []
+    at20 = {}
+    for name in DATASET_NAMES:
+        result = fit_aoadmm(small_datasets[name], AOADMMOptions(
+            rank=RANK, constraints="nonneg", blocked=False,
+            seed=BENCH_SEED, max_outer_iterations=4, outer_tolerance=0.0))
+        inner, _ = measured_profile(result)
+        workload = FactorizationWorkload.from_spec(name, rank=RANK,
+                                                   inner_iters=inner)
+        curve = speedup_curve(workload, blocked=False,
+                              threads=THREAD_SWEEP)
+        at20[name] = curve[20]
+        row = {"Dataset": name.capitalize()}
+        row.update({f"T={t}": f"{curve[t]:.1f}" for t in THREAD_SWEEP})
+        if name in PAPER_AT_20:
+            row["paper T=20"] = PAPER_AT_20[name]
+        rows.append(row)
+    text = format_table(
+        rows, title="Figure 4: baseline speedup vs threads "
+                    "(simulated 2x10-core Xeon, measured ADMM profiles)")
+    return text, at20
+
+
+def test_fig4_baseline_scaling(benchmark, small_datasets, results_dir):
+    text, at20 = benchmark.pedantic(
+        run_fig4, args=(small_datasets,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig4_baseline_scaling", text)
+    # Paper shape: NELL scales worst, Patents best.
+    assert at20["nell"] == min(at20.values())
+    assert at20["patents"] == max(at20.values())
+    assert 3.0 < at20["nell"] < 9.0
+    assert 8.0 < at20["patents"] < 18.0

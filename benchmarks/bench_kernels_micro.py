@@ -1,0 +1,81 @@
+"""Ablation A3 — MTTKRP kernel micro-benchmarks.
+
+Proper pytest-benchmark timings (multiple rounds) of the kernel variants
+on one corpus: vectorized COO, the CSF root kernel, and the sparse-factor
+(CSR / CSR-H) kernels at Table II-like density.  CSF's fiber reuse makes
+it faster than COO; the sparse-factor kernels win once the deep factor is
+sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import mttkrp_coo, mttkrp_csf_root
+from repro.kernels.mttkrp_sparse import leaf_aggregator, mttkrp_csf_root_repr
+from repro.sparse import CSRMatrix, HybridFactor
+from repro.tensor.csf import AllModeCSF
+
+from conftest import BENCH_SEED
+
+RANK = 32
+DENSITY = 0.03
+
+
+@pytest.fixture(scope="module")
+def kernel_setup(small_datasets):
+    tensor = small_datasets["reddit"]
+    rng = np.random.default_rng(BENCH_SEED)
+    factors = [rng.uniform(0.0, 1.0, (s, RANK)) for s in tensor.shape]
+    csf = AllModeCSF(tensor).csf(0)
+    leaf = csf.mode_order[-1]
+    sparse = factors[leaf].copy()
+    sparse[rng.uniform(size=sparse.shape) > DENSITY] = 0.0
+    sparse_factors = list(factors)
+    sparse_factors[leaf] = sparse
+    return {
+        "tensor": tensor,
+        "factors": factors,
+        "sparse_factors": sparse_factors,
+        "csf": csf,
+        "aggregator": leaf_aggregator(csf),
+        "csr": CSRMatrix.from_dense(sparse),
+        "hybrid": HybridFactor(sparse),
+    }
+
+
+def test_mttkrp_coo_vectorized(benchmark, kernel_setup):
+    s = kernel_setup
+    benchmark(mttkrp_coo, s["tensor"], s["factors"], 0)
+
+
+def test_mttkrp_csf_root_dense(benchmark, kernel_setup):
+    s = kernel_setup
+    benchmark(mttkrp_csf_root, s["csf"], s["factors"])
+
+
+def test_mttkrp_csf_sparse_factor_csr(benchmark, kernel_setup):
+    s = kernel_setup
+    benchmark(mttkrp_csf_root_repr, s["csf"], s["sparse_factors"],
+              s["csr"], s["aggregator"])
+
+
+def test_mttkrp_csf_sparse_factor_hybrid(benchmark, kernel_setup):
+    s = kernel_setup
+    benchmark(mttkrp_csf_root_repr, s["csf"], s["sparse_factors"],
+              s["hybrid"], s["aggregator"])
+
+
+def test_csf_construction(benchmark, small_datasets):
+    """The one-time compression cost MTTKRP amortizes."""
+    from repro.tensor import CSFTensor
+    tensor = small_datasets["reddit"]
+    benchmark(CSFTensor.from_coo, tensor)
+
+
+def test_csr_factor_construction(benchmark, kernel_setup):
+    """The O(KF) per-outer-iteration conversion cost of Section IV-C."""
+    s = kernel_setup
+    leaf = s["csf"].mode_order[-1]
+    benchmark(CSRMatrix.from_dense, s["sparse_factors"][leaf])

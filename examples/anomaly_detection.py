@@ -1,0 +1,70 @@
+"""Tensor-based anomaly detection on a power-law user x community x word
+corpus (cybersecurity/knowledge-base use case from the paper's intro).
+
+Recipe: factor the tensor with non-negativity, then score every observed
+triple by its reconstruction residual — triples the low-rank model cannot
+explain are anomalies.  Injected corruptions must rank near the top.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.datasets import load_dataset
+from repro.tensor import COOTensor
+
+RANK = 6
+N_ANOMALIES = 25
+
+
+def inject_anomalies(tensor: COOTensor, count: int,
+                     rng: np.random.Generator) -> tuple[COOTensor,
+                                                        np.ndarray]:
+    """Plant `count` random high-magnitude triples; return their ids."""
+    coords = np.vstack([rng.integers(0, s, size=count)
+                        for s in tensor.shape])
+    scale = float(np.abs(tensor.vals).max())
+    vals = rng.uniform(8.0, 15.0, size=count) * scale
+    merged = COOTensor(
+        np.hstack([tensor.coords, coords]),
+        np.hstack([tensor.vals, vals]),
+        tensor.shape).deduplicate()
+    return merged, coords
+
+
+def main() -> None:
+    tensor, _ = load_dataset("reddit", "tiny", seed=19)
+    rng = np.random.default_rng(5)
+    corrupted, planted = inject_anomalies(tensor, N_ANOMALIES, rng)
+    print(f"Reddit-like tensor with {N_ANOMALIES} injected anomalies: "
+          f"{corrupted}")
+
+    result = fit_aoadmm(corrupted, AOADMMOptions(
+        rank=RANK, constraints="nonneg", seed=2,
+        max_outer_iterations=50))
+    print(f"relative error {result.relative_error:.4f}")
+
+    # Residual score per observed entry.
+    predictions = result.model.values_at(corrupted.coords)
+    residuals = np.abs(corrupted.vals - predictions)
+    ranking = np.argsort(-residuals)
+
+    # How many planted anomalies appear in the top 2N residuals?
+    planted_set = {tuple(planted[:, i]) for i in range(planted.shape[1])}
+    top = ranking[: 2 * N_ANOMALIES]
+    hits = sum(tuple(corrupted.coords[:, p]) in planted_set for p in top)
+    print(f"\nrecall@{2 * N_ANOMALIES}: {hits}/{N_ANOMALIES} planted "
+          f"anomalies in the top residuals")
+
+    print("top 5 anomalous triples (coords, observed, predicted):")
+    for p in ranking[:5]:
+        coord = tuple(int(c) for c in corrupted.coords[:, p])
+        print(f"  {coord}  observed={corrupted.vals[p]:9.2f}  "
+              f"predicted={predictions[p]:9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: factorize a sparse tensor with constrained AO-ADMM.
+
+Builds a small synthetic sparse tensor with planted non-negative low-rank
+structure, runs the accelerated (blocked) AO-ADMM solver, and checks that
+the planted components were recovered.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AOADMMOptions, factor_match_score, fit_aoadmm
+from repro.tensor import COOTensor
+from repro.tensor.dense import dense_from_factors
+from repro.tensor.random import random_factors
+
+
+def main() -> None:
+    # 1. A 60 x 50 x 40 tensor with exact rank-8 non-negative structure
+    #    plus 2% noise.  (The generators in repro.datasets build the
+    #    paper's hypersparse power-law corpora; this quickstart uses a
+    #    fully observed tensor so recovery is exact.)
+    rng = np.random.default_rng(42)
+    truth = random_factors((60, 50, 40), 8, seed=42, nonneg=True)
+    dense = dense_from_factors(truth)
+    dense += 0.02 * dense.std() * rng.standard_normal(dense.shape)
+    tensor = COOTensor.from_dense(np.maximum(dense, 0.0))
+    print(f"tensor: {tensor}")
+
+    # 2. Configure the factorization.  Defaults follow the paper: blocked
+    #    ADMM with 50-row blocks, outer tolerance 1e-6.
+    options = AOADMMOptions(
+        rank=8,
+        constraints="nonneg",   # any name from available_constraints()
+        blocked=True,
+        seed=0,
+        max_outer_iterations=80,
+    )
+
+    # 3. Fit.
+    result = fit_aoadmm(tensor, options)
+    print(f"stopped after {result.iterations} outer iterations "
+          f"({result.stop_reason}); relative error "
+          f"{result.relative_error:.4f}")
+
+    # 4. Inspect the model.
+    model = result.model
+    print(f"rank-{model.rank} model, factor shapes: "
+          f"{[f.shape for f in model.factors]}")
+    print(f"factor match score vs planted truth: "
+          f"{factor_match_score(model, truth):.3f}")
+
+    # 5. The trace carries everything the paper's figures are made of.
+    fractions = result.trace.time_fractions()
+    print("time fractions: "
+          + ", ".join(f"{k}={v:.2f}" for k, v in fractions.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Recommender-style analysis of a Reddit-like user x community x word
+tensor (the paper's motivating domain).
+
+Factorizes the scaled synthetic Reddit corpus with non-negativity (so
+components are additive "interest groups"), then inspects each component:
+its top communities, top words, and the number of users it loads on —
+exactly the interpretability read-out a practitioner would do.
+
+Run:  python examples/recommender_communities.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.datasets import load_dataset
+
+RANK = 12
+TOP_K = 5
+
+
+def main() -> None:
+    tensor, _ = load_dataset("reddit", "tiny", seed=7)
+    users, communities, words = tensor.shape
+    print(f"Reddit-like tensor: {users} users x {communities} communities "
+          f"x {words} words, {tensor.nnz} non-zeros")
+
+    result = fit_aoadmm(tensor, AOADMMOptions(
+        rank=RANK, constraints="nonneg", seed=1,
+        max_outer_iterations=60))
+    print(f"relative error {result.relative_error:.4f} after "
+          f"{result.iterations} iterations\n")
+
+    model = result.model.normalized()
+    user_f, comm_f, word_f = model.factors
+    order = model.component_order()
+
+    for rank_pos, f in enumerate(order[:4]):
+        top_comms = [int(i) for i in np.argsort(-comm_f[:, f])[:TOP_K]]
+        top_words = [int(i) for i in np.argsort(-word_f[:, f])[:TOP_K]]
+        active_users = int((user_f[:, f] > 0.01).sum())
+        print(f"component #{rank_pos} (weight {model.weights[f]:.3g})")
+        print(f"  ~{active_users} active users")
+        print(f"  top communities: {top_comms}")
+        print(f"  top words:       {top_words}")
+
+    # Rating-style prediction: score unobserved (user, community, word)
+    # cells by the model value.
+    rng = np.random.default_rng(0)
+    probes = np.vstack([rng.integers(0, s, size=5) for s in tensor.shape])
+    scores = result.model.values_at(probes)
+    print("\nmodel scores at 5 random cells:",
+          np.array2string(scores, precision=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Sparse topic discovery with L1-regularized factorization (Table II's
+setting) on an Amazon-like user x item x word tensor.
+
+Demonstrates the paper's Section IV-C machinery end to end: the L1
+penalty drives the factors sparse *during* the factorization, the engine
+notices when a factor crosses the 20% density threshold, switches its
+MTTKRP representation to CSR/hybrid, and the trace records both the
+density trajectory and the representation switches.
+
+Run:  python examples/sparse_topics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.constraints import NonNegativeL1
+from repro.datasets import load_dataset
+
+RANK = 12
+L1_WEIGHT = 0.05
+
+
+def main() -> None:
+    tensor, _ = load_dataset("amazon", "tiny", seed=11)
+    print(f"Amazon-like tensor: {tensor}")
+
+    result = fit_aoadmm(tensor, AOADMMOptions(
+        rank=RANK,
+        constraints=NonNegativeL1(L1_WEIGHT),
+        repr_policy="auto",          # dense -> CSR/CSR-H as factors sparsify
+        sparsity_threshold=0.20,     # the paper's 20% rule
+        seed=3,
+        max_outer_iterations=40,
+    ))
+
+    print(f"relative error {result.relative_error:.4f} after "
+          f"{result.iterations} iterations\n")
+
+    print("density and representation trajectory "
+          "(mode: user / item / word):")
+    for record in result.trace.records[::5] + [result.trace.records[-1]]:
+        densities = "/".join(f"{d:.3f}" for d in record.factor_densities)
+        reps = "/".join(record.representations)
+        print(f"  iter {record.iteration:3d}: density {densities}  "
+              f"repr {reps}")
+
+    # Topic read-out: sparse word loadings are directly interpretable.
+    model = result.model.normalized()
+    word_factor = model.factors[2]
+    print("\nper-topic word support sizes:")
+    for f in model.component_order()[:6]:
+        support = int((word_factor[:, f] > 1e-6).sum())
+        top = [int(i) for i in np.argsort(-word_factor[:, f])[:5]]
+        print(f"  topic {f}: {support:4d} words, top ids {top}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy entry point; configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — Constrained sparse tensor factorization with accelerated AO-ADMM.
+
+A from-scratch Python reproduction of Smith, Beri & Karypis,
+*"Constrained Tensor Factorization with Accelerated AO-ADMM"* (ICPP 2017):
+
+* sparse tensor substrate (COO + compressed sparse fiber),
+* MTTKRP kernels, including sparse-factor (CSR / hybrid) variants,
+* an ADMM inner solver with a library of proximity operators,
+* the paper's blockwise ADMM reformulation,
+* the AO-ADMM outer driver plus ALS / MU / PGD baselines, and
+* a simulated shared-memory machine for the scalability studies.
+
+Quickstart
+----------
+>>> from repro import fit_aoadmm, AOADMMOptions
+>>> from repro.tensor import noisy_lowrank_coo
+>>> tensor, truth = noisy_lowrank_coo((60, 50, 40), rank=5, nnz=5000, seed=0)
+>>> result = fit_aoadmm(tensor, AOADMMOptions(rank=5, constraints="nonneg",
+...                                           seed=0, max_outer_iterations=20))
+>>> all((f >= 0).all() for f in result.model.factors)
+True
+>>> result.trace.errors()[-1] <= result.trace.errors()[0]
+True
+"""
+
+from .config import DEFAULTS, Defaults
+from .constraints import (
+    Box,
+    Constraint,
+    ElasticNet,
+    L1,
+    L2Squared,
+    NonNegative,
+    NonNegativeL1,
+    RowNormBall,
+    RowSimplex,
+    Unconstrained,
+    available_constraints,
+    make_constraint,
+)
+from .core import (
+    AOADMMOptions,
+    CPModel,
+    FactorizationResult,
+    FactorizationTrace,
+    factor_match_score,
+    fit_als,
+    fit_aoadmm,
+    init_factors,
+    load_model,
+    penalized_objective,
+    save_model,
+)
+from .tensor import COOTensor, CSFTensor, read_tns, write_tns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULTS",
+    "Defaults",
+    "Constraint",
+    "Unconstrained",
+    "NonNegative",
+    "L1",
+    "NonNegativeL1",
+    "L2Squared",
+    "ElasticNet",
+    "Box",
+    "RowSimplex",
+    "RowNormBall",
+    "make_constraint",
+    "available_constraints",
+    "AOADMMOptions",
+    "CPModel",
+    "FactorizationResult",
+    "FactorizationTrace",
+    "factor_match_score",
+    "fit_als",
+    "fit_aoadmm",
+    "init_factors",
+    "save_model",
+    "load_model",
+    "penalized_objective",
+    "COOTensor",
+    "CSFTensor",
+    "read_tns",
+    "write_tns",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""ADMM inner solvers: full-matrix (Algorithm 1) and blocked (Section IV-B)."""
+
+from .state import AdmmState
+from .rho import RhoPolicy, TraceRho, FixedRho, NormalizedTraceRho, make_rho_policy
+from .residuals import relative_residuals
+from .solver import AdmmReport, admm_update
+from .blocked import BlockedAdmmReport, blocked_admm_update
+from .blocksize import BlockSizeModel, recommend_block_size
+
+__all__ = [
+    "BlockSizeModel",
+    "recommend_block_size",
+    "AdmmState",
+    "RhoPolicy",
+    "TraceRho",
+    "FixedRho",
+    "NormalizedTraceRho",
+    "make_rho_policy",
+    "relative_residuals",
+    "AdmmReport",
+    "admm_update",
+    "BlockedAdmmReport",
+    "blocked_admm_update",
+]

@@ -1,0 +1,136 @@
+"""Blockwise ADMM (paper Section IV-B).
+
+The mode subproblem is split into ``B`` row blocks
+
+``min sum_b 1/2 ||(X_(m))_b - H_b (KR)^T||^2 + r(H_b)``
+``s.t. H_b = H_tilde_b  for every block``
+
+which is exact whenever the prox is row separable.  Each block then runs
+Algorithm 1 **to its own convergence**:
+
+* high-signal blocks take the extra iterations they need instead of being
+  stopped by the aggregate criterion, and low-signal blocks stop early
+  instead of being dragged along (non-uniform convergence);
+* a block's primal/dual/aux working set is ~``3 * block_rows * F`` doubles
+  — cache resident for the paper's default of 50 rows — so the repeated
+  linear passes hit cache instead of DRAM (memory bandwidth);
+* blocks share nothing, so the only parallel coordination is the dynamic
+  claiming of block indices (synchronization elimination).
+
+The Cholesky factor of ``G + rho I`` is mode-global (every block shares G
+and hence rho), computed once and reused by all blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ADMM_TOLERANCE, DEFAULT_BLOCK_SIZE, MAX_ADMM_ITERATIONS
+from ..constraints.base import Constraint
+from ..linalg.cholesky import CholeskyFactor
+from ..parallel.partition import row_blocks
+from ..parallel.threadpool import parallel_for
+from ..validation import require
+from .residuals import relative_residuals
+from .rho import RhoPolicy, TraceRho
+from .state import AdmmState
+
+
+@dataclass(frozen=True)
+class BlockedAdmmReport:
+    """Outcome of one blocked inner solve."""
+
+    #: Inner iterations performed by every block (length = #blocks).
+    block_iterations: tuple[int, ...]
+    #: Rows per block (parallel work-item sizes for the machine model).
+    block_rows: tuple[int, ...]
+    rho: float
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        """Maximum block iteration count (the critical path)."""
+        return max(self.block_iterations) if self.block_iterations else 0
+
+    @property
+    def total_row_iterations(self) -> int:
+        """sum over blocks of rows * iterations — the actual work done."""
+        return int(sum(r * i for r, i in
+                       zip(self.block_rows, self.block_iterations)))
+
+
+def _solve_block(block: slice, primal: np.ndarray, dual: np.ndarray,
+                 mttkrp: np.ndarray, chol: CholeskyFactor, rho: float,
+                 constraint: Constraint, tolerance: float,
+                 max_iterations: int) -> tuple[slice, np.ndarray, np.ndarray,
+                                               int, bool]:
+    """Algorithm 1 restricted to one row block; returns the updated rows."""
+    h = primal[block].copy()
+    u = dual[block].copy()
+    k = mttkrp[block]
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        aux = chol.solve_t(k + rho * (h + u))
+        h_prev = h
+        h = constraint.prox(aux - u, 1.0 / rho)
+        u = u + h - aux
+        r, s = relative_residuals(h, aux, h_prev, u)
+        if r < tolerance and s < tolerance:
+            converged = True
+            break
+    return block, h, u, iterations, converged
+
+
+def blocked_admm_update(state: AdmmState, mttkrp: np.ndarray,
+                        gram: np.ndarray, constraint: Constraint,
+                        rho_policy: RhoPolicy | None = None,
+                        tolerance: float = ADMM_TOLERANCE,
+                        max_iterations: int = MAX_ADMM_ITERATIONS,
+                        block_size: int = DEFAULT_BLOCK_SIZE,
+                        threads: int | None = 1) -> BlockedAdmmReport:
+    """Run blockwise ADMM, updating *state* in place.
+
+    Parameters mirror :func:`repro.admm.solver.admm_update` plus:
+
+    block_size:
+        Rows per block; the paper's default is 50.  ``block_size >= rows``
+        degenerates to the unblocked algorithm (one block).
+    threads:
+        Thread count for the real pool (``None`` = auto).  Results are
+        bit-identical for any thread count — blocks are independent.
+    """
+    require(constraint.row_separable,
+            f"constraint {constraint.name!r} is not row separable; "
+            "the blockwise reformulation does not apply (Section IV-B)")
+    require(mttkrp.shape == state.primal.shape,
+            "MTTKRP output must match the primal shape")
+    rank = state.rank
+    require(gram.shape == (rank, rank), "Gram must be F x F")
+
+    rho = (rho_policy or TraceRho()).rho(gram)
+    chol = CholeskyFactor(gram + rho * np.eye(rank))
+    blocks = row_blocks(state.rows, block_size)
+
+    primal, dual = state.primal, state.dual
+    results = parallel_for(
+        lambda blk: _solve_block(blk, primal, dual, mttkrp, chol, rho,
+                                 constraint, tolerance, max_iterations),
+        blocks, threads=threads)
+
+    iterations: list[int] = []
+    rows: list[int] = []
+    all_converged = True
+    for block, h, u, iters, conv in results:
+        primal[block] = h
+        dual[block] = u
+        iterations.append(iters)
+        rows.append(block.stop - block.start)
+        all_converged &= conv
+
+    return BlockedAdmmReport(block_iterations=tuple(iterations),
+                             block_rows=tuple(rows), rho=rho,
+                             converged=all_converged)

@@ -1,0 +1,132 @@
+"""Analytical block-size selection (the paper's stated future work).
+
+Section VI: "an analytical model of the ADMM algorithm could provide a
+method of choosing block sizes."  This module provides that model.
+
+Three effects bound the useful block-size range:
+
+* **cache residency** (upper bound) — a block's working set (five
+  ``b x F`` panels: K, H, U, aux, prev) must fit in one thread's share of
+  the last-level cache, or the per-iteration passes spill to DRAM and the
+  blocked variant degenerates to the baseline's memory-bound behaviour;
+* **scheduling overhead** (lower bound) — each block pays a dynamic-
+  scheduling handshake plus Python/call fixed costs, so a block must
+  carry enough arithmetic to amortize them;
+* **load balance** (upper bound) — with ``B`` blocks over ``T`` threads,
+  dynamic self-scheduling wastes up to ``max_block_cost`` at the tail;
+  keeping ``B >= balance_factor * T`` bounds the waste.
+* **convergence granularity** (upper bound) — a block iterates until its
+  slowest row converges, so with per-row iteration needs of coefficient
+  of variation ``iter_cv`` the expected waste grows like
+  ``iter_cv * sqrt(2 ln b)`` (the Gaussian max of ``b`` draws);
+  bounding that waste at ``conv_waste`` caps the block size at
+  ``exp((conv_waste / iter_cv)^2 / 2)``.
+
+``recommend_block_size`` intersects the constraints and returns the
+largest block size inside them (larger blocks amortize overhead best).
+On the paper machine at rank 50 with the default calibration this lands
+in the tens of rows — the regime of the paper's empirical choice of 50.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.spec import MachineSpec, PAPER_MACHINE
+from ..validation import require
+
+#: Matrix panels live per block during the inner iterations.
+_PANELS = 5
+_BYTES = 8
+
+
+@dataclass(frozen=True)
+class BlockSizeModel:
+    """The three bounds and the resulting recommendation."""
+
+    #: Largest block whose working set is cache resident per thread.
+    cache_bound: int
+    #: Smallest block that amortizes per-block overhead to `overhead_frac`.
+    overhead_bound: int
+    #: Largest block leaving >= balance_factor * threads blocks.
+    balance_bound: int
+    #: Largest block whose worst-row convergence waste stays bounded.
+    convergence_bound: int
+    #: The recommendation (clipped intersection).
+    recommended: int
+
+    def explain(self) -> str:
+        """Human-readable account of the trade-off."""
+        return (f"block size in [{self.overhead_bound}, "
+                f"min({self.cache_bound} cache, {self.balance_bound} "
+                f"balance, {self.convergence_bound} convergence)] "
+                f"-> {self.recommended}")
+
+
+def recommend_block_size(rows: int, rank: int,
+                         machine: MachineSpec = PAPER_MACHINE,
+                         threads: int | None = None,
+                         inner_iterations: float = 10.0,
+                         overhead_frac: float = 0.02,
+                         per_block_overhead: float | None = None,
+                         balance_factor: int = 8,
+                         iter_cv: float = 0.20,
+                         conv_waste: float = 0.60) -> BlockSizeModel:
+    """Recommend a blocked-ADMM block size for a mode of *rows* rows.
+
+    Parameters
+    ----------
+    inner_iterations:
+        Expected inner iterations per block (amortizes the fixed costs).
+    overhead_frac:
+        Acceptable fraction of a block's compute spent on scheduling
+        overhead (sets the lower bound).
+    per_block_overhead:
+        Seconds of fixed cost per block; defaults to the machine's
+        dynamic-chunk handshake.
+    balance_factor:
+        Required blocks-per-thread for dynamic load balancing.
+    iter_cv:
+        Coefficient of variation of per-row inner-iteration needs
+        (measure it from a run's block reports for a specific dataset).
+    conv_waste:
+        Acceptable fraction of extra iterations spent on rows that
+        converged before their block did.
+    """
+    require(rows >= 1 and rank >= 1, "rows and rank must be positive")
+    threads = threads or machine.cores
+    if per_block_overhead is None:
+        per_block_overhead = machine.dynamic_chunk_overhead
+
+    # Cache bound: 5 * b * F * 8 <= LLC / threads.
+    cache_bound = max(
+        1, int(machine.llc_bytes / threads / (_PANELS * rank * _BYTES)))
+
+    # Overhead bound: per-block fixed cost <= overhead_frac of the
+    # block's compute across its inner iterations.
+    per_row_iter_flops = 2.0 * rank * rank + 12.0 * rank
+    per_row_seconds = (per_row_iter_flops * inner_iterations
+                       / (machine.peak_flops_per_core * 0.8))
+    overhead_bound = max(
+        1, int(per_block_overhead / (overhead_frac * per_row_seconds)) + 1)
+
+    # Balance bound: at least balance_factor * threads blocks.
+    balance_bound = max(1, rows // (balance_factor * threads))
+
+    # Convergence bound: expected per-block iteration waste
+    # iter_cv * sqrt(2 ln b) <= conv_waste.
+    require(iter_cv >= 0 and conv_waste > 0, "bad convergence parameters")
+    if iter_cv == 0:
+        convergence_bound = rows
+    else:
+        convergence_bound = max(
+            1, int(math.exp(0.5 * (conv_waste / iter_cv) ** 2)))
+
+    upper = min(cache_bound, balance_bound, convergence_bound)
+    recommended = max(min(upper, rows), min(overhead_bound, rows), 1)
+    return BlockSizeModel(cache_bound=cache_bound,
+                          overhead_bound=overhead_bound,
+                          balance_bound=balance_bound,
+                          convergence_bound=convergence_bound,
+                          recommended=recommended)

@@ -1,0 +1,30 @@
+"""Relative primal and dual ADMM residuals (Algorithm 1, lines 10-11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_TINY = 1e-30
+
+
+def _sqnorm(matrix: np.ndarray) -> float:
+    return float(np.einsum("ij,ij->", matrix, matrix))
+
+
+def relative_residuals(primal: np.ndarray, aux: np.ndarray,
+                       primal_prev: np.ndarray,
+                       dual: np.ndarray) -> tuple[float, float]:
+    """Return ``(r, s)``:
+
+    ``r = ||H - H_tilde||_F^2 / ||H||_F^2`` — primal residual (constraint
+    violation between the primal and auxiliary copies), and
+    ``s = ||H - H_prev||_F^2 / ||U||_F^2`` — dual residual (primal update
+    magnitude scaled by the dual).
+
+    Denominators are floored so the first iterations (H or U all zero)
+    never divide by zero; in that regime the residuals are intentionally
+    huge and the loop continues.
+    """
+    r = _sqnorm(primal - aux) / max(_sqnorm(primal), _TINY)
+    s = _sqnorm(primal - primal_prev) / max(_sqnorm(dual), _TINY)
+    return r, s

@@ -1,0 +1,76 @@
+"""Penalty-parameter (rho) policies.
+
+The paper (Algorithm 1 line 3) fixes ``rho = trace(G) / F`` — the mean
+eigenvalue of the Gram, which balances the data-fit and penalty curvatures.
+Alternative policies are provided for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..validation import require
+
+
+class RhoPolicy(abc.ABC):
+    """Maps the Gram matrix of a mode update to a penalty parameter."""
+
+    name: str = "rho"
+
+    @abc.abstractmethod
+    def rho(self, gram: np.ndarray) -> float:
+        """Penalty parameter for an inner solve with this Gram."""
+
+
+class TraceRho(RhoPolicy):
+    """The paper's default: ``rho = trace(G) / F`` (floored for safety)."""
+
+    name = "trace"
+
+    def __init__(self, floor: float = 1e-12):
+        self.floor = float(floor)
+
+    def rho(self, gram: np.ndarray) -> float:
+        f = gram.shape[0]
+        return max(float(np.trace(gram)) / max(f, 1), self.floor)
+
+
+class FixedRho(RhoPolicy):
+    """A constant rho (ablation baseline; sensitive to factor scaling)."""
+
+    name = "fixed"
+
+    def __init__(self, value: float):
+        require(value > 0.0, "rho must be positive")
+        self.value = float(value)
+
+    def rho(self, gram: np.ndarray) -> float:
+        return self.value
+
+
+class NormalizedTraceRho(RhoPolicy):
+    """``rho = scale * trace(G) / F`` — trace policy with a tunable scale."""
+
+    name = "scaled_trace"
+
+    def __init__(self, scale: float = 1.0, floor: float = 1e-12):
+        require(scale > 0.0, "scale must be positive")
+        self.scale = float(scale)
+        self.floor = float(floor)
+
+    def rho(self, gram: np.ndarray) -> float:
+        f = gram.shape[0]
+        return max(self.scale * float(np.trace(gram)) / max(f, 1), self.floor)
+
+
+def make_rho_policy(spec: str | float | RhoPolicy) -> RhoPolicy:
+    """Coerce a spec into a policy: name, positive number, or instance."""
+    if isinstance(spec, RhoPolicy):
+        return spec
+    if isinstance(spec, (int, float)):
+        return FixedRho(float(spec))
+    if spec == "trace":
+        return TraceRho()
+    raise ValueError(f"unknown rho policy {spec!r}")

@@ -1,0 +1,94 @@
+"""Full-matrix ADMM for one mode's subproblem (paper Algorithm 1).
+
+Solves
+
+``min_H  1/2 ||X_(m) - H (KR of others)^T||_F^2 + r(H)``
+
+given the precomputed MTTKRP ``K`` and Gram ``G``.  The Cholesky factor of
+``G + rho I`` is computed once; every inner iteration then costs one
+``O(F^2 I)`` substitution pass (line 6) plus the prox and residuals — all
+linear passes over the tall matrices, which is exactly the memory-bound
+behaviour the blocked variant attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ADMM_TOLERANCE, MAX_ADMM_ITERATIONS
+from ..constraints.base import Constraint
+from ..linalg.cholesky import CholeskyFactor
+from ..validation import require
+from .residuals import relative_residuals
+from .rho import RhoPolicy, TraceRho
+from .state import AdmmState
+
+
+@dataclass(frozen=True)
+class AdmmReport:
+    """Outcome of one inner ADMM solve."""
+
+    iterations: int
+    rho: float
+    primal_residual: float
+    dual_residual: float
+    converged: bool
+
+
+def admm_update(state: AdmmState, mttkrp: np.ndarray, gram: np.ndarray,
+                constraint: Constraint,
+                rho_policy: RhoPolicy | None = None,
+                tolerance: float = ADMM_TOLERANCE,
+                max_iterations: int = MAX_ADMM_ITERATIONS) -> AdmmReport:
+    """Run Algorithm 1, updating *state* in place.
+
+    Parameters
+    ----------
+    state:
+        Warm-started primal/dual pair for this mode; mutated in place.
+    mttkrp:
+        ``K = X_(m) (KR of other factors)``, shape ``(I_m, F)``.
+    gram:
+        ``G = hadamard of other Grams``, shape ``(F, F)``.
+    constraint:
+        Penalty whose prox implements line 8.
+    rho_policy:
+        Penalty parameter rule; defaults to the paper's ``trace(G)/F``.
+    tolerance:
+        Threshold on **both** relative residuals (line 12).
+    max_iterations:
+        Safety cap on inner iterations.
+    """
+    require(mttkrp.shape == state.primal.shape,
+            "MTTKRP output must match the primal shape")
+    rank = state.rank
+    require(gram.shape == (rank, rank), "Gram must be F x F")
+
+    rho = (rho_policy or TraceRho()).rho(gram)
+    chol = CholeskyFactor(gram + rho * np.eye(rank))
+
+    primal, dual = state.primal, state.dual
+    iterations = 0
+    r = s = float("inf")
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        # Line 6: solve (G + rho I) H_tilde^T = (K + rho (H + U))^T.
+        aux = chol.solve_t(mttkrp + rho * (primal + dual))
+        primal_prev = primal.copy()
+        # Line 8: proximity operator with step 1/rho.
+        primal = constraint.prox(aux - dual, 1.0 / rho)
+        # Line 9: dual ascent.
+        dual = dual + primal - aux
+        # Lines 10-11.
+        r, s = relative_residuals(primal, aux, primal_prev, dual)
+        if r < tolerance and s < tolerance:
+            converged = True
+            break
+
+    state.primal = primal
+    state.dual = dual
+    return AdmmReport(iterations=iterations, rho=rho, primal_residual=r,
+                      dual_residual=s, converged=converged)

@@ -1,0 +1,45 @@
+"""Per-mode ADMM state (primal + dual variables).
+
+AO-ADMM warm-starts each mode's inner solve from the previous outer
+iteration's primal and dual variables (Algorithm 2 passes ``A, A_dual``
+back in) — this carry-over is a large part of its fast convergence, so the
+state lives across outer iterations in this container.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import VALUE_DTYPE
+from ..validation import check_factor, require
+
+
+class AdmmState:
+    """Primal factor ``H`` and scaled dual ``U`` for one tensor mode."""
+
+    __slots__ = ("primal", "dual")
+
+    def __init__(self, primal: np.ndarray, dual: np.ndarray | None = None):
+        self.primal = check_factor(primal, name="primal")
+        if dual is None:
+            dual = np.zeros_like(self.primal)
+        self.dual = check_factor(dual, name="dual")
+        require(self.dual.shape == self.primal.shape,
+                "dual must match primal shape")
+
+    @property
+    def rows(self) -> int:
+        return self.primal.shape[0]
+
+    @property
+    def rank(self) -> int:
+        return self.primal.shape[1]
+
+    def copy(self) -> "AdmmState":
+        """Deep copy (used when comparing solver variants on equal starts)."""
+        return AdmmState(self.primal.copy(), self.dual.copy())
+
+    @classmethod
+    def from_factor(cls, factor: np.ndarray) -> "AdmmState":
+        """Fresh state around an initial factor with zero duals."""
+        return cls(np.array(factor, dtype=VALUE_DTYPE, copy=True))

@@ -1,0 +1,12 @@
+"""Related-work baselines for non-negative CPD.
+
+These reproduce the algorithm families Section III surveys against:
+multiplicative updates (Welling & Weber style) and projected gradient
+descent (Zhang et al.).  Both reuse the same MTTKRP engine as AO-ADMM, so
+comparisons isolate the optimization algorithm.
+"""
+
+from .mu_ntf import fit_mu
+from .pgd_ntf import fit_pgd
+
+__all__ = ["fit_mu", "fit_pgd"]

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: timers, paper-style tables, figure series."""
+
+from .timers import Timer, StageTimer
+from .tables import format_table, format_markdown_table
+from .series import Series, format_series
+from .plots import ascii_plot, sparkline
+
+__all__ = [
+    "Timer",
+    "StageTimer",
+    "format_table",
+    "format_markdown_table",
+    "Series",
+    "format_series",
+    "ascii_plot",
+    "sparkline",
+]

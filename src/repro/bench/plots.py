@@ -1,0 +1,87 @@
+"""Terminal plots for figure series.
+
+The benchmark artifacts are text files; these helpers add a readable
+visual rendering of the paper's line plots — a multi-series ASCII chart
+(Figure 6's convergence curves, Figures 4/5's speedup lines) — without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..validation import require
+from .series import Series
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series: Sequence[Series], width: int = 64, height: int = 16,
+               title: str | None = None, x_name: str = "x",
+               y_name: str = "y", logx: bool = False) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Each series gets a marker from ``o x + * ...``; axes are linear (or
+    log-x for time axes spanning decades).  Intended for benchmark
+    artifacts and terminal inspection, not precision reading.
+    """
+    require(width >= 16 and height >= 4, "plot area too small")
+    live = [s for s in series if len(s.x)]
+    if not live:
+        return (title + "\n" if title else "") + "(no data)"
+
+    def tx(v: float) -> float:
+        return math.log10(max(v, 1e-300)) if logx else v
+
+    xs = [tx(v) for s in live for v in s.x]
+    ys = [v for s in live for v in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(live):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(s.x, s.y):
+            col = int((tx(xv) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.4g} +" + "-" * width + "+")
+    left = f"{(10 ** x_lo if logx else x_lo):.4g}"
+    right = f"{(10 ** x_hi if logx else x_hi):.4g}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 12 + left + " " * max(pad, 1) + right)
+    lines.append(" " * 12 + f"[{x_name}]  y={y_name}")
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={s.label}"
+                       for i, s in enumerate(live))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line unicode sparkline (for compact trace summaries)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return ""
+    if vals.size > width:
+        idx = np.linspace(0, vals.size - 1, width).astype(int)
+        vals = vals[idx]
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi == lo:
+        return blocks[0] * len(vals)
+    scaled = (vals - lo) / (hi - lo) * (len(blocks) - 1)
+    return "".join(blocks[int(round(v))] for v in scaled)

@@ -1,0 +1,51 @@
+"""Named (x, y) series — the textual form of the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of a figure."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    @classmethod
+    def from_arrays(cls, label: str, x, y) -> "Series":
+        x = tuple(float(v) for v in np.asarray(x).ravel())
+        y = tuple(float(v) for v in np.asarray(y).ravel())
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        return cls(label, x, y)
+
+    def downsample(self, max_points: int = 20) -> "Series":
+        """Thin the series for terminal display (keeps endpoints)."""
+        n = len(self.x)
+        if n <= max_points:
+            return self
+        idx = np.unique(np.linspace(0, n - 1, max_points).astype(int))
+        return Series(self.label,
+                      tuple(self.x[i] for i in idx),
+                      tuple(self.y[i] for i in idx))
+
+
+def format_series(series: Sequence[Series], title: str | None = None,
+                  x_name: str = "x", y_name: str = "y",
+                  max_points: int = 20) -> str:
+    """Render series as aligned columns (one block per series)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for s in series:
+        thin = s.downsample(max_points)
+        lines.append(f"-- {s.label}")
+        lines.append(f"   {x_name:>12s}  {y_name:>12s}")
+        for xv, yv in zip(thin.x, thin.y):
+            lines.append(f"   {xv:12.4g}  {yv:12.6g}")
+    return "\n".join(lines)

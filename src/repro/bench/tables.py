@@ -1,0 +1,56 @@
+"""ASCII / markdown table formatting matching the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Column order defaults to the keys of the first row.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns or rows[0].keys())
+    rendered = [[_render_cell(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i])
+                               for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Sequence[str] | None = None) -> str:
+    """Render dict-rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(_render_cell(row.get(c, ""))
+                                     for c in columns) + " |")
+    return "\n".join(out)

@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Mirrors the workflows SPLATT's ``splatt`` binary offers:
+
+* ``python -m repro stats <file.tns>`` — dataset summary (Table I style).
+* ``python -m repro factorize <file.tns> --rank 16 --constraint nonneg``
+  — run AO-ADMM, print the convergence trace, optionally save factors.
+* ``python -m repro generate reddit --preset small out.tns`` — write a
+  synthetic corpus to disk.
+* ``python -m repro simulate reddit --rank 50`` — the Figure 4/5 speedup
+  curves on the simulated machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .bench.tables import format_table
+    from .tensor.io import read_tns
+    from .tensor.stats import compute_stats
+
+    tensor = read_tns(args.tensor)
+    stats = compute_stats(tensor)
+    rows = [{
+        "NNZ": stats.nnz,
+        "shape": "x".join(str(s) for s in stats.shape),
+        "density": f"{stats.density:.3e}",
+        "fibers/mode": "/".join(str(f) for f in stats.fibers_per_mode),
+        "skew(gini)/mode": "/".join(f"{g:.2f}" for g in stats.slice_skew),
+    }]
+    print(format_table(rows, title=str(args.tensor)))
+    return 0
+
+
+def _cmd_factorize(args: argparse.Namespace) -> int:
+    from .constraints.registry import make_constraint
+    from .core.aoadmm import fit_aoadmm
+    from .core.options import AOADMMOptions
+    from .tensor.io import read_tns
+
+    tensor = read_tns(args.tensor)
+    constraint = make_constraint(
+        args.constraint,
+        **({"weight": args.weight} if args.constraint in
+           ("l1", "nonneg_l1", "l2") else {}))
+    options = AOADMMOptions(
+        rank=args.rank,
+        constraints=constraint,
+        blocked=not args.unblocked,
+        block_size=args.block_size,
+        repr_policy=args.repr,
+        seed=args.seed,
+        max_outer_iterations=args.max_iterations,
+        outer_tolerance=args.tolerance,
+    )
+    result = fit_aoadmm(tensor, options)
+    for record in result.trace.records:
+        if args.verbose or record.iteration == len(result.trace):
+            print(f"iter {record.iteration:4d}  "
+                  f"err {record.relative_error:.6f}  "
+                  f"mttkrp {record.mttkrp_seconds:.2f}s  "
+                  f"admm {record.admm_seconds:.2f}s  "
+                  f"inner {record.inner_iterations}")
+    print(f"stopped: {result.stop_reason}; relative error "
+          f"{result.relative_error:.6f}; "
+          f"total {result.trace.total_seconds():.1f}s")
+    if args.output:
+        saved = {f"mode{m}": f
+                 for m, f in enumerate(result.model.factors)}
+        np.savez(args.output, **saved)
+        print(f"factors saved to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .datasets.synthetic import generate_dataset
+    from .tensor.io import write_tns
+
+    tensor, _ = generate_dataset(args.dataset, args.preset, seed=args.seed)
+    write_tns(tensor, args.output,
+              header=f"repro synthetic {args.dataset} "
+                     f"preset={args.preset} seed={args.seed}")
+    print(f"{tensor} -> {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .machine.speedup import THREAD_SWEEP, speedup_curve
+    from .machine.workload import FactorizationWorkload
+
+    workload = FactorizationWorkload.from_spec(args.dataset, rank=args.rank)
+    header = "variant   " + "  ".join(f"T={t:>2d}" for t in THREAD_SWEEP)
+    print(f"{args.dataset} (rank {args.rank}, simulated paper machine)")
+    print(header)
+    for label, blocked in (("base", False), ("blocked", True)):
+        curve = speedup_curve(workload, blocked=blocked,
+                              threads=THREAD_SWEEP)
+        print(f"{label:8s}  "
+              + "  ".join(f"{curve[t]:4.1f}" for t in THREAD_SWEEP))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constrained sparse tensor factorization with "
+                    "accelerated AO-ADMM (ICPP 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="summarize a .tns tensor")
+    p.add_argument("tensor")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("factorize", help="run AO-ADMM on a .tns tensor")
+    p.add_argument("tensor")
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--constraint", default="nonneg")
+    p.add_argument("--weight", type=float, default=0.1,
+                   help="regularization weight for l1/nonneg_l1/l2")
+    p.add_argument("--unblocked", action="store_true",
+                   help="use the baseline full-matrix ADMM")
+    p.add_argument("--block-size", type=int, default=50)
+    p.add_argument("--repr", default="dense",
+                   choices=("dense", "csr", "hybrid", "auto"),
+                   help="deep-factor representation policy for MTTKRP")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-iterations", type=int, default=200)
+    p.add_argument("--tolerance", type=float, default=1e-6)
+    p.add_argument("--output", help="save factors as .npz")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every outer iteration")
+    p.set_defaults(func=_cmd_factorize)
+
+    p = sub.add_parser("generate", help="write a synthetic corpus")
+    p.add_argument("dataset",
+                   choices=("reddit", "nell", "amazon", "patents"))
+    p.add_argument("output")
+    p.add_argument("--preset", default="small",
+                   choices=("tiny", "small", "medium"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("simulate",
+                       help="speedup curves on the simulated machine")
+    p.add_argument("dataset",
+                   choices=("reddit", "nell", "amazon", "patents"))
+    p.add_argument("--rank", type=int, default=50)
+    p.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Constraints and regularizations as proximity operators.
+
+AO-ADMM's flexibility (the reason the paper builds on it) comes from the
+fact that a new constraint only requires a proximity operator — line 8 of
+Algorithm 1.  This subpackage implements the paper's examples
+(non-negativity, L1 sparsity, row simplex) and several more, each flagged
+with whether it is *row separable*, the property that legitimizes the
+blockwise reformulation of Section IV-B.
+"""
+
+from .base import Constraint, Unconstrained
+from .nonneg import NonNegative
+from .l1 import L1, NonNegativeL1
+from .l2 import L2Squared, ElasticNet
+from .box import Box
+from .simplex import RowSimplex, project_rows_simplex
+from .maxnorm import RowNormBall
+from .monotone import MonotoneRows, isotonic_projection_rows
+from .cardinality import RowCardinality, keep_top_k_rows
+from .smoothness import ColumnSmoothness
+from .registry import make_constraint, available_constraints
+
+__all__ = [
+    "Constraint",
+    "Unconstrained",
+    "NonNegative",
+    "L1",
+    "NonNegativeL1",
+    "L2Squared",
+    "ElasticNet",
+    "Box",
+    "RowSimplex",
+    "project_rows_simplex",
+    "RowNormBall",
+    "MonotoneRows",
+    "isotonic_projection_rows",
+    "RowCardinality",
+    "keep_top_k_rows",
+    "ColumnSmoothness",
+    "make_constraint",
+    "available_constraints",
+]

@@ -1,0 +1,35 @@
+"""Box (interval) constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+from .base import Constraint
+
+
+class Box(Constraint):
+    """Indicator of ``lower <= H <= upper`` elementwise; prox is clipping.
+
+    Useful for bounded data such as ratings (e.g. ``Box(0, 5)``).
+    """
+
+    name = "box"
+
+    def __init__(self, lower: float = 0.0, upper: float = 1.0):
+        require(lower < upper, "lower bound must be below upper bound")
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def prox(self, matrix: np.ndarray, step: float) -> np.ndarray:
+        return np.clip(matrix, self.lower, self.upper, out=matrix)
+
+    def penalty(self, matrix: np.ndarray) -> float:
+        return 0.0 if self.is_feasible(matrix) else float("inf")
+
+    def is_feasible(self, matrix: np.ndarray, atol: float = 1e-9) -> bool:
+        return bool(((matrix >= self.lower - atol)
+                     & (matrix <= self.upper + atol)).all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box({self.lower}, {self.upper})"

@@ -1,0 +1,59 @@
+"""Hard per-row cardinality (k-sparsity) constraint.
+
+``r(H) = indicator{ nnz(H[i, :]) <= k  for every row }`` — the nonconvex
+"exactly interpretable" alternative to L1.  The prox is the row-wise hard
+threshold: keep each row's ``k`` largest-magnitude entries.  Nonconvex,
+so ADMM is a heuristic here (standard practice; convergence to a local
+point), but the prox itself is exact and row separable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+from .base import Constraint
+
+
+def keep_top_k_rows(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Zero all but the ``k`` largest-|.| entries of every row."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n, f = matrix.shape
+    if k >= f or n == 0:
+        return matrix.copy()
+    # argpartition per row: indices of the f-k smallest |values|.
+    drop = np.argpartition(np.abs(matrix), f - k - 1, axis=1)[:, :f - k]
+    out = matrix.copy()
+    np.put_along_axis(out, drop, 0.0, axis=1)
+    return out
+
+
+class RowCardinality(Constraint):
+    """At most ``k`` non-zeros per row (hard sparsity)."""
+
+    name = "cardinality"
+
+    def __init__(self, k: int = 3, nonneg: bool = False):
+        require(k >= 1, "k must be positive")
+        self.k = int(k)
+        #: Also clip to the non-negative orthant after thresholding.
+        self.nonneg = bool(nonneg)
+
+    def prox(self, matrix: np.ndarray, step: float) -> np.ndarray:
+        if self.nonneg:
+            matrix = np.maximum(matrix, 0.0)
+        return keep_top_k_rows(matrix, self.k)
+
+    def penalty(self, matrix: np.ndarray) -> float:
+        return 0.0 if self.is_feasible(matrix) else float("inf")
+
+    def is_feasible(self, matrix: np.ndarray, atol: float = 0.0) -> bool:
+        counts = (np.abs(matrix) > atol).sum(axis=1)
+        if (counts > self.k).any():
+            return False
+        if self.nonneg and (matrix < -1e-12).any():
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RowCardinality(k={self.k}, nonneg={self.nonneg})"

@@ -1,0 +1,61 @@
+"""Quadratic (ridge) regularization and the elastic net."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+from .base import Constraint
+
+
+class L2Squared(Constraint):
+    """``r(H) = weight * ||H||_F^2``; prox is a uniform shrink.
+
+    ``prox_{r, step}(V) = V / (1 + 2 * weight * step)``.
+    """
+
+    name = "l2"
+
+    def __init__(self, weight: float = 0.1):
+        require(weight >= 0.0, "L2 weight must be non-negative")
+        self.weight = float(weight)
+
+    def prox(self, matrix: np.ndarray, step: float) -> np.ndarray:
+        matrix /= (1.0 + 2.0 * self.weight * step)
+        return matrix
+
+    def penalty(self, matrix: np.ndarray) -> float:
+        return self.weight * float(np.einsum("ij,ij->", matrix, matrix))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"L2Squared(weight={self.weight})"
+
+
+class ElasticNet(Constraint):
+    """``r(H) = l1 * ||H||_1 + l2 * ||H||_F^2``.
+
+    Prox composes exactly: soft-threshold then shrink.
+    """
+
+    name = "elastic_net"
+
+    def __init__(self, l1: float = 0.1, l2: float = 0.1):
+        require(l1 >= 0.0 and l2 >= 0.0, "weights must be non-negative")
+        self.l1 = float(l1)
+        self.l2 = float(l2)
+
+    def prox(self, matrix: np.ndarray, step: float) -> np.ndarray:
+        threshold = self.l1 * step
+        out = np.abs(matrix)
+        out -= threshold
+        np.maximum(out, 0.0, out=out)
+        out *= np.sign(matrix)
+        out /= (1.0 + 2.0 * self.l2 * step)
+        return out
+
+    def penalty(self, matrix: np.ndarray) -> float:
+        return (self.l1 * float(np.abs(matrix).sum())
+                + self.l2 * float(np.einsum("ij,ij->", matrix, matrix)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ElasticNet(l1={self.l1}, l2={self.l2})"

@@ -1,0 +1,40 @@
+"""Row-wise Euclidean norm ball constraint."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+from .base import Constraint
+
+
+class RowNormBall(Constraint):
+    """Indicator of ``||H[i, :]||_2 <= radius`` for every row.
+
+    Projection rescales any row outside the ball back onto its surface.
+    Bounds the energy any single slice can carry — a common stabilizer for
+    recommender-style factorizations.
+    """
+
+    name = "norm_ball"
+
+    def __init__(self, radius: float = 1.0):
+        require(radius > 0.0, "radius must be positive")
+        self.radius = float(radius)
+
+    def prox(self, matrix: np.ndarray, step: float) -> np.ndarray:
+        norms = np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+        over = norms > self.radius
+        if over.any():
+            matrix[over] *= (self.radius / norms[over])[:, None]
+        return matrix
+
+    def penalty(self, matrix: np.ndarray) -> float:
+        return 0.0 if self.is_feasible(matrix) else float("inf")
+
+    def is_feasible(self, matrix: np.ndarray, atol: float = 1e-9) -> bool:
+        norms = np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+        return bool((norms <= self.radius + atol).all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RowNormBall(radius={self.radius})"

@@ -1,0 +1,60 @@
+"""Name-based constraint construction.
+
+Lets options files, CLIs, and benchmarks specify constraints as strings —
+``make_constraint("nonneg")`` or ``make_constraint("l1", weight=0.1)`` —
+mirroring how the paper's SPLATT extension exposes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Constraint, Unconstrained
+from .box import Box
+from .cardinality import RowCardinality
+from .l1 import L1, NonNegativeL1
+from .l2 import ElasticNet, L2Squared
+from .maxnorm import RowNormBall
+from .monotone import MonotoneRows
+from .nonneg import NonNegative
+from .simplex import RowSimplex
+from .smoothness import ColumnSmoothness
+
+_FACTORIES: dict[str, Callable[..., Constraint]] = {
+    "none": Unconstrained,
+    "nonneg": NonNegative,
+    "l1": L1,
+    "nonneg_l1": NonNegativeL1,
+    "l2": L2Squared,
+    "elastic_net": ElasticNet,
+    "box": Box,
+    "simplex": RowSimplex,
+    "norm_ball": RowNormBall,
+    "monotone": MonotoneRows,
+    "cardinality": RowCardinality,
+    "smooth": ColumnSmoothness,
+}
+
+
+def available_constraints() -> tuple[str, ...]:
+    """Names accepted by :func:`make_constraint`."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_constraint(spec: str | Constraint, **kwargs) -> Constraint:
+    """Build a constraint from a name (or pass an instance through).
+
+    Keyword arguments are forwarded to the constructor, e.g.
+    ``make_constraint("l1", weight=0.1)``.
+    """
+    if isinstance(spec, Constraint):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with a constraint instance")
+        return spec
+    try:
+        factory = _FACTORIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown constraint {spec!r}; available: "
+            f"{', '.join(available_constraints())}") from None
+    return factory(**kwargs)

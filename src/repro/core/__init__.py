@@ -1,0 +1,26 @@
+"""The paper's primary contribution: the accelerated AO-ADMM framework."""
+
+from .cpd import CPModel, factor_match_score
+from .options import AOADMMOptions
+from .trace import FactorizationTrace, OuterIterationRecord
+from .convergence import ConvergenceCriterion
+from .init import init_factors
+from .aoadmm import FactorizationResult, fit_aoadmm
+from .als import fit_als
+from .serialize import load_model, penalized_objective, save_model
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "penalized_objective",
+    "CPModel",
+    "factor_match_score",
+    "AOADMMOptions",
+    "FactorizationTrace",
+    "OuterIterationRecord",
+    "ConvergenceCriterion",
+    "init_factors",
+    "FactorizationResult",
+    "fit_aoadmm",
+    "fit_als",
+]

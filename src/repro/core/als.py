@@ -1,0 +1,109 @@
+"""Unconstrained alternating least squares (ALS) baseline.
+
+AO with no constraint degenerates to classic CP-ALS (paper Section II-C):
+each mode update is the exact normal-equations solve
+``A_m = K (G)^-1`` — no inner iterations, no duals.  Used as the
+reference point for the overhead constrained factorization adds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..kernels.dispatch import MTTKRPEngine
+from ..linalg.cholesky import CholeskyFactor
+from ..linalg.grams import GramCache
+from ..tensor.coo import COOTensor
+from ..validation import require
+from .convergence import ConvergenceCriterion
+from .cpd import CPModel
+from .init import init_factors
+from .options import AOADMMOptions
+from .trace import FactorizationTrace, OuterIterationRecord
+from .aoadmm import FactorizationResult
+
+
+def fit_als(tensor: COOTensor,
+            options: AOADMMOptions | None = None,
+            initial_factors: list[np.ndarray] | None = None,
+            engine: MTTKRPEngine | None = None) -> FactorizationResult:
+    """Unconstrained CP-ALS with the same tracing as :func:`fit_aoadmm`.
+
+    ``options.constraints`` is ignored (ALS is the unconstrained limit);
+    everything else — rank, tolerances, init — behaves identically.
+    """
+    options = options or AOADMMOptions()
+    require(tensor.nmodes >= 2, "factorization needs at least two modes")
+    require(tensor.nnz > 0, "cannot factor an empty tensor")
+
+    setup_start = time.perf_counter()
+    if initial_factors is None:
+        factors = init_factors(tensor, options.rank, options.init,
+                               options.seed)
+    else:
+        factors = [np.array(f, dtype=float, copy=True)
+                   for f in initial_factors]
+    if engine is None:
+        engine = MTTKRPEngine(tensor)
+        engine.trees.build_all()
+
+    gram_cache = GramCache(factors)
+    norm_x_sq = tensor.norm_squared()
+    criterion = ConvergenceCriterion(options.outer_tolerance,
+                                     options.max_outer_iterations)
+    trace = FactorizationTrace()
+    trace.setup_seconds = time.perf_counter() - setup_start
+
+    nmodes = tensor.nmodes
+    converged = False
+    while True:
+        mttkrp_seconds = 0.0
+        solve_seconds = 0.0
+        other_seconds = 0.0
+        last_mttkrp: np.ndarray | None = None
+
+        for mode in range(nmodes):
+            tick = time.perf_counter()
+            gram = gram_cache.gram_excluding(mode)
+            other_seconds += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            kmat = engine.mttkrp(factors, mode)
+            mttkrp_seconds += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            factors[mode] = CholeskyFactor(gram).solve_t(kmat)
+            solve_seconds += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            gram_cache.set_factor(mode, factors[mode])
+            other_seconds += time.perf_counter() - tick
+            last_mttkrp = kmat
+
+        tick = time.perf_counter()
+        assert last_mttkrp is not None
+        inner = float(np.einsum("ij,ij->", last_mttkrp, factors[nmodes - 1]))
+        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+        err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
+        relative_error = float(np.sqrt(err_sq / norm_x_sq))
+        other_seconds += time.perf_counter() - tick
+
+        trace.append(OuterIterationRecord(
+            iteration=len(trace) + 1,
+            relative_error=relative_error,
+            mttkrp_seconds=mttkrp_seconds,
+            admm_seconds=solve_seconds,
+            other_seconds=other_seconds,
+            inner_iterations=tuple(1 for _ in range(nmodes)),
+            factor_densities=tuple(1.0 for _ in range(nmodes)),
+            representations=tuple("dense" for _ in range(nmodes)),
+        ))
+        if criterion.update(relative_error):
+            converged = criterion.reason == "tolerance"
+            break
+
+    model = CPModel([f.copy() for f in factors])
+    return FactorizationResult(model=model, trace=trace, converged=converged,
+                               stop_reason=criterion.reason, options=options)

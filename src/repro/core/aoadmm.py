@@ -1,0 +1,213 @@
+"""The AO-ADMM driver (paper Algorithm 2) with the paper's accelerations.
+
+One outer iteration cycles over the modes; for each mode it
+
+1. composes the Gram ``G`` from the cached per-mode Grams,
+2. computes the MTTKRP ``K`` through the engine (CSF kernels, honoring the
+   deep factor's dynamic sparse representation — Section IV-C),
+3. runs the inner ADMM — full-matrix (baseline) or blockwise
+   (Section IV-B) — warm-started from the previous outer iteration, and
+4. refreshes the mode's Gram and its factor representation.
+
+The relative error is evaluated from the *last* mode's MTTKRP via the norm
+expansion identity, so convergence checking adds no kernel work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..admm.blocked import blocked_admm_update
+from ..admm.rho import make_rho_policy
+from ..admm.solver import admm_update
+from ..admm.state import AdmmState
+from ..kernels.dispatch import MTTKRPEngine
+from ..linalg.grams import GramCache
+from ..sparse.analysis import density
+from ..tensor.coo import COOTensor
+from ..validation import require
+from .convergence import ConvergenceCriterion
+from .cpd import CPModel
+from .init import init_factors
+from .options import AOADMMOptions
+from .trace import FactorizationTrace, OuterIterationRecord
+
+
+@dataclass
+class FactorizationResult:
+    """Everything a factorization run returns."""
+
+    model: CPModel
+    trace: FactorizationTrace
+    converged: bool
+    #: "tolerance" or "max_iterations".
+    stop_reason: str
+    options: AOADMMOptions
+
+    @property
+    def iterations(self) -> int:
+        return len(self.trace)
+
+    @property
+    def relative_error(self) -> float:
+        return self.trace.final_error()
+
+
+def fit_aoadmm(tensor: COOTensor,
+               options: AOADMMOptions | None = None,
+               initial_factors: list[np.ndarray] | None = None,
+               engine: MTTKRPEngine | None = None) -> FactorizationResult:
+    """Factorize *tensor* with (accelerated) AO-ADMM.
+
+    Parameters
+    ----------
+    tensor:
+        The sparse tensor in COO format.
+    options:
+        Run configuration; defaults reproduce the paper's setup.
+    initial_factors:
+        Explicit starting point (e.g. to compare base vs blocked from
+        identical initializations, as Figure 6 requires).  Overrides
+        ``options.init`` / ``options.seed``.
+    engine:
+        A pre-built :class:`MTTKRPEngine` — pass one to amortize CSF
+        construction across runs of the same tensor (the benchmark
+        harness does this).
+
+    Returns
+    -------
+    FactorizationResult
+        The model, the per-iteration trace, and stop diagnostics.
+    """
+    options = options or AOADMMOptions()
+    require(tensor.nmodes >= 2, "factorization needs at least two modes")
+    require(tensor.nnz > 0, "cannot factor an empty tensor")
+    constraints = options.resolve_constraints(tensor.nmodes)
+    if options.blocked:
+        for c in constraints:
+            require(c.row_separable,
+                    f"constraint {c.name!r} is not row separable; use "
+                    "blocked=False (Section IV-B restriction)")
+    rho_policy = make_rho_policy(options.rho_policy)
+
+    setup_start = time.perf_counter()
+    if initial_factors is None:
+        factors = init_factors(tensor, options.rank, options.init,
+                               options.seed)
+    else:
+        require(len(initial_factors) == tensor.nmodes,
+                "one initial factor per mode required")
+        factors = [np.array(f, dtype=float, copy=True)
+                   for f in initial_factors]
+
+    if engine is None:
+        engine = MTTKRPEngine(tensor, repr_policy=options.repr_policy,
+                              sparsity_threshold=options.sparsity_threshold,
+                              tol=options.factor_zero_tol)
+        engine.trees.build_all()
+
+    states = [AdmmState.from_factor(f) for f in factors]
+    gram_cache = GramCache([s.primal for s in states])
+    norm_x_sq = tensor.norm_squared()
+    criterion = ConvergenceCriterion(options.outer_tolerance,
+                                     options.max_outer_iterations)
+    trace = FactorizationTrace()
+    trace.setup_seconds = time.perf_counter() - setup_start
+
+    nmodes = tensor.nmodes
+    converged = False
+    while True:
+        mttkrp_seconds = 0.0
+        admm_seconds = 0.0
+        other_start = time.perf_counter()
+        other_seconds = 0.0
+        inner_iterations: list[int] = []
+        block_reports: list[object] = []
+        last_mttkrp: np.ndarray | None = None
+
+        for mode in range(nmodes):
+            tick = time.perf_counter()
+            gram = gram_cache.gram_excluding(mode)
+            other_seconds += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            current = [s.primal for s in states]
+            kmat = engine.mttkrp(current, mode)
+            mttkrp_seconds += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            if options.blocked:
+                report = blocked_admm_update(
+                    states[mode], kmat, gram, constraints[mode],
+                    rho_policy=rho_policy,
+                    tolerance=options.inner_tolerance,
+                    max_iterations=options.max_inner_iterations,
+                    block_size=options.block_size,
+                    threads=options.threads)
+                inner_iterations.append(report.iterations)
+            else:
+                report = admm_update(
+                    states[mode], kmat, gram, constraints[mode],
+                    rho_policy=rho_policy,
+                    tolerance=options.inner_tolerance,
+                    max_iterations=options.max_inner_iterations)
+                inner_iterations.append(report.iterations)
+            admm_seconds += time.perf_counter() - tick
+            if options.track_block_reports:
+                block_reports.append(report)
+
+            tick = time.perf_counter()
+            gram_cache.set_factor(mode, states[mode].primal)
+            engine.update_factor(mode, states[mode].primal)
+            other_seconds += time.perf_counter() - tick
+
+            last_mttkrp = kmat
+
+        # Relative error from the last mode's MTTKRP: K was computed with
+        # the other factors at their current values, and only mode N-1's
+        # factor changed afterwards, so <X, X_hat> = <K, A_{N-1}>.
+        tick = time.perf_counter()
+        assert last_mttkrp is not None
+        inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                states[nmodes - 1].primal))
+        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+        err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
+        relative_error = float(np.sqrt(err_sq / norm_x_sq))
+        other_seconds += time.perf_counter() - tick
+
+        densities = tuple(density(s.primal, options.factor_zero_tol)
+                          for s in states)
+        representations = tuple(engine.representation(m)
+                                for m in range(nmodes))
+        trace.append(OuterIterationRecord(
+            iteration=len(trace) + 1,
+            relative_error=relative_error,
+            mttkrp_seconds=mttkrp_seconds,
+            admm_seconds=admm_seconds,
+            other_seconds=other_seconds,
+            inner_iterations=tuple(inner_iterations),
+            factor_densities=densities,
+            representations=representations,
+            block_reports=tuple(block_reports) if block_reports else None,
+        ))
+
+        record = trace.records[-1]
+        stop_reason = ""
+        if criterion.update(relative_error):
+            stop_reason = criterion.reason
+        if not stop_reason and options.callback is not None \
+                and options.callback(record):
+            stop_reason = "callback"
+        if not stop_reason and options.time_budget_seconds is not None \
+                and trace.total_seconds() >= options.time_budget_seconds:
+            stop_reason = "time_budget"
+        if stop_reason:
+            converged = stop_reason == "tolerance"
+            break
+
+    model = CPModel([s.primal.copy() for s in states])
+    return FactorizationResult(model=model, trace=trace, converged=converged,
+                               stop_reason=stop_reason, options=options)

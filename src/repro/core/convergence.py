@@ -1,0 +1,49 @@
+"""Outer-loop convergence detection (paper Section V-A).
+
+"Convergence is detected when the relative error improves less than 1e-6
+or if we exceed 200 outer iterations."
+"""
+
+from __future__ import annotations
+
+from ..config import MAX_OUTER_ITERATIONS, OUTER_TOLERANCE
+from ..validation import require
+
+
+class ConvergenceCriterion:
+    """Stateful improvement tracker for the outer AO loop."""
+
+    def __init__(self, tolerance: float = OUTER_TOLERANCE,
+                 max_iterations: int = MAX_OUTER_ITERATIONS):
+        require(tolerance >= 0.0, "tolerance must be non-negative")
+        require(max_iterations >= 1, "need at least one iteration")
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self._previous: float | None = None
+        self._iterations = 0
+        #: Why the loop stopped: "", "tolerance", or "max_iterations".
+        self.reason = ""
+
+    @property
+    def iterations(self) -> int:
+        """Iterations observed so far."""
+        return self._iterations
+
+    def update(self, relative_error: float) -> bool:
+        """Record one outer iteration's error; True when the loop should stop.
+
+        Improvement is measured as ``previous - current`` (signed): an
+        error that worsens also fails to improve by the tolerance and
+        therefore stops the loop, matching the paper's criterion.
+        """
+        self._iterations += 1
+        stop = False
+        if self._previous is not None:
+            if self._previous - relative_error < self.tolerance:
+                stop = True
+                self.reason = "tolerance"
+        self._previous = relative_error
+        if not stop and self._iterations >= self.max_iterations:
+            stop = True
+            self.reason = "max_iterations"
+        return stop

@@ -1,0 +1,96 @@
+"""Options for the AO-ADMM driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import (
+    ADMM_TOLERANCE,
+    DEFAULT_BLOCK_SIZE,
+    MAX_ADMM_ITERATIONS,
+    MAX_OUTER_ITERATIONS,
+    OUTER_TOLERANCE,
+    SPARSITY_THRESHOLD,
+)
+from ..constraints.base import Constraint
+from ..constraints.registry import make_constraint
+from ..types import SeedLike
+from ..validation import require
+
+
+@dataclass
+class AOADMMOptions:
+    """Everything configurable about a factorization run.
+
+    Defaults reproduce the paper's experimental setup: non-negative
+    factorization, blocked ADMM with 50-row blocks, outer tolerance 1e-6,
+    at most 200 outer iterations.
+
+    Attributes
+    ----------
+    constraints:
+        A single spec applied to every mode, or one spec per mode.  Specs
+        are constraint names (see
+        :func:`repro.constraints.registry.available_constraints`) or
+        :class:`~repro.constraints.base.Constraint` instances.
+    blocked:
+        ``True`` runs the blockwise reformulation (the paper's
+        contribution); ``False`` the baseline full-matrix ADMM.
+    repr_policy:
+        Deep-factor representation during MTTKRP: ``"dense"``, ``"csr"``,
+        ``"hybrid"``, or ``"auto"`` (Table II's DENSE / CSR / CSR-H).
+    factor_zero_tol:
+        Magnitude at or below which a factor entry counts as zero for
+        sparsity analysis and compression.
+    threads:
+        Thread count for the real pool used by blocked ADMM (results are
+        identical for any value; scalability is studied on the machine
+        model).
+    """
+
+    rank: int = 10
+    constraints: object = "nonneg"
+    blocked: bool = True
+    block_size: int = DEFAULT_BLOCK_SIZE
+    inner_tolerance: float = ADMM_TOLERANCE
+    max_inner_iterations: int = MAX_ADMM_ITERATIONS
+    outer_tolerance: float = OUTER_TOLERANCE
+    max_outer_iterations: int = MAX_OUTER_ITERATIONS
+    rho_policy: object = "trace"
+    repr_policy: str = "dense"
+    sparsity_threshold: float = SPARSITY_THRESHOLD
+    factor_zero_tol: float = 0.0
+    init: str = "uniform"
+    seed: SeedLike = None
+    threads: int | None = 1
+    track_block_reports: bool = False
+    #: Called after every outer iteration with the fresh
+    #: :class:`~repro.core.trace.OuterIterationRecord`; returning a truthy
+    #: value stops the factorization (stop_reason "callback").
+    callback: object = None
+    #: Stop once the accumulated factorization time exceeds this many
+    #: seconds (checked between outer iterations; stop_reason "time_budget").
+    time_budget_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        require(self.rank >= 1, "rank must be positive")
+        require(self.max_outer_iterations >= 1, "need at least one iteration")
+        require(self.inner_tolerance > 0.0, "inner tolerance must be positive")
+        require(self.outer_tolerance >= 0.0,
+                "outer tolerance must be non-negative")
+        if self.time_budget_seconds is not None:
+            require(self.time_budget_seconds > 0.0,
+                    "time budget must be positive")
+        if self.callback is not None:
+            require(callable(self.callback), "callback must be callable")
+
+    def resolve_constraints(self, nmodes: int) -> list[Constraint]:
+        """Materialize one constraint instance per mode."""
+        spec = self.constraints
+        if isinstance(spec, (str, Constraint)):
+            return [make_constraint(spec) for _ in range(nmodes)]
+        specs = list(spec)  # type: ignore[arg-type]
+        require(len(specs) == nmodes,
+                f"got {len(specs)} constraints for {nmodes} modes")
+        return [make_constraint(s) for s in specs]

@@ -1,0 +1,68 @@
+"""CP model persistence and objective evaluation.
+
+Save/load uses NumPy's ``.npz`` container — one array per factor plus
+optional weights — matching what the CLI's ``--output`` writes, so models
+round-trip between the API and the command line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..constraints.base import Constraint
+from ..tensor.coo import COOTensor
+from ..validation import require
+from .cpd import CPModel
+
+_WEIGHTS_KEY = "weights"
+
+
+def save_model(model: CPModel, path: str | Path) -> Path:
+    """Write *model* to an ``.npz`` file; returns the path."""
+    path = Path(path)
+    arrays = {f"mode{m}": factor
+              for m, factor in enumerate(model.factors)}
+    if model.weights is not None:
+        arrays[_WEIGHTS_KEY] = model.weights
+    np.savez(path, **arrays)
+    # np.savez appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_name(
+        path.name + ".npz")
+
+
+def load_model(path: str | Path) -> CPModel:
+    """Read a :class:`CPModel` previously written by :func:`save_model`."""
+    with np.load(Path(path)) as data:
+        modes = sorted(k for k in data.files if k.startswith("mode"))
+        require(modes, f"{path} contains no factor arrays")
+        # Validate contiguous mode numbering.
+        expected = [f"mode{m}" for m in range(len(modes))]
+        require(modes == expected,
+                f"{path} has non-contiguous factor keys {modes}")
+        factors = [np.array(data[k]) for k in expected]
+        weights = (np.array(data[_WEIGHTS_KEY])
+                   if _WEIGHTS_KEY in data.files else None)
+    return CPModel(factors, weights)
+
+
+def penalized_objective(model: CPModel, tensor: COOTensor,
+                        constraints: "list[Constraint] | None" = None
+                        ) -> float:
+    """Equation (1)'s objective: ``1/2 ||X - X_hat||_F^2 + sum_m r(A_m)``.
+
+    The quantity AO-ADMM monotonically decreases (up to inner-solve
+    inexactness).  Indicator constraints contribute 0 when feasible and
+    ``inf`` otherwise, so a finite value certifies feasibility too.
+    """
+    norm_x_sq = tensor.norm_squared()
+    err_sq = (norm_x_sq - 2.0 * model.inner_with(tensor)
+              + model.norm_squared())
+    objective = 0.5 * max(err_sq, 0.0)
+    if constraints is not None:
+        require(len(constraints) == model.nmodes,
+                "one constraint per mode required")
+        for constraint, factor in zip(constraints, model.factors):
+            objective += constraint.penalty(factor)
+    return float(objective)

@@ -1,0 +1,97 @@
+"""Per-iteration records of a factorization run.
+
+The trace is the raw material for every figure in the paper's evaluation:
+error-vs-time and error-vs-iteration curves (Figure 6), kernel time
+fractions (Figure 3), and the work-item descriptors the machine model
+replays for the scaling studies (Figures 4-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class OuterIterationRecord:
+    """Everything measured during one outer AO iteration."""
+
+    iteration: int
+    relative_error: float
+    #: Wall-clock seconds spent in MTTKRP during this iteration.
+    mttkrp_seconds: float
+    #: Wall-clock seconds spent in ADMM (or least-squares) updates.
+    admm_seconds: float
+    #: Everything else: Grams, representation rebuilds, error evaluation.
+    other_seconds: float
+    #: Inner ADMM iteration count per mode (max over blocks when blocked).
+    inner_iterations: tuple[int, ...]
+    #: Per-mode factor densities after the update (drives Table II).
+    factor_densities: tuple[float, ...]
+    #: Per-mode deep-factor representation used by MTTKRP this iteration.
+    representations: tuple[str, ...]
+    #: Optional: per-mode blocked reports (block rows + iterations); only
+    #: retained when options.track_block_reports is set.
+    block_reports: tuple[object, ...] | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mttkrp_seconds + self.admm_seconds + self.other_seconds
+
+
+@dataclass
+class FactorizationTrace:
+    """Ordered list of outer-iteration records plus run-level metadata."""
+
+    records: list[OuterIterationRecord] = field(default_factory=list)
+    #: Seconds spent before the first iteration (init, CSF builds).
+    setup_seconds: float = 0.0
+
+    def append(self, record: OuterIterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Figure/series extraction
+    # ------------------------------------------------------------------
+    def errors(self) -> np.ndarray:
+        """Relative error after each outer iteration."""
+        return np.array([r.relative_error for r in self.records])
+
+    def cumulative_seconds(self) -> np.ndarray:
+        """Wall-clock at the end of each outer iteration (incl. setup)."""
+        totals = np.array([r.total_seconds for r in self.records])
+        return self.setup_seconds + np.cumsum(totals)
+
+    def time_fractions(self) -> dict[str, float]:
+        """Fraction of total factorization time per kernel (Figure 3)."""
+        mttkrp = sum(r.mttkrp_seconds for r in self.records)
+        admm = sum(r.admm_seconds for r in self.records)
+        other = sum(r.other_seconds for r in self.records) + self.setup_seconds
+        total = mttkrp + admm + other
+        if total <= 0.0:
+            return {"mttkrp": 0.0, "admm": 0.0, "other": 0.0}
+        return {"mttkrp": mttkrp / total, "admm": admm / total,
+                "other": other / total}
+
+    def total_seconds(self) -> float:
+        """Total factorization wall-clock (Table II's metric)."""
+        return self.setup_seconds + float(
+            sum(r.total_seconds for r in self.records))
+
+    def final_error(self) -> float:
+        """Relative error of the returned model."""
+        return self.records[-1].relative_error if self.records else float("nan")
+
+    def error_vs_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """(seconds, error) series — Figure 6 left column."""
+        return self.cumulative_seconds(), self.errors()
+
+    def error_vs_iteration(self) -> tuple[np.ndarray, np.ndarray]:
+        """(iteration, error) series — Figure 6 right column."""
+        its = np.arange(1, len(self.records) + 1)
+        return its, self.errors()

@@ -1,0 +1,39 @@
+"""Dataset substrate: synthetic stand-ins for the FROSTT corpora.
+
+The paper evaluates on Reddit, NELL, Amazon, and Patents (Table I) —
+95M to 3.5B non-zeros.  We cannot ship those, so each dataset gets a
+seeded generator that reproduces its *shape statistics* — dimension
+ratios, sparsity regime, per-mode power-law skew — at a tractable scale,
+with planted non-negative low-rank structure so factorization converges
+meaningfully.  Full-scale statistical descriptors (for the machine model)
+are derived from the same specs without materializing any tensor.
+"""
+
+from .powerlaw import (
+    zipf_weights,
+    zipf_expected_counts,
+    compressed_zipf_counts,
+    distinct_values_estimate,
+)
+from .registry import (
+    DatasetSpec,
+    DATASETS,
+    dataset_names,
+    get_spec,
+)
+from .synthetic import generate_dataset
+from .loader import load_dataset, clear_cache
+
+__all__ = [
+    "zipf_weights",
+    "zipf_expected_counts",
+    "compressed_zipf_counts",
+    "distinct_values_estimate",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "get_spec",
+    "generate_dataset",
+    "load_dataset",
+    "clear_cache",
+]

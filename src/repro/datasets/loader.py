@@ -1,0 +1,59 @@
+"""In-memory (and optional on-disk) dataset cache.
+
+Benchmarks call :func:`load_dataset` repeatedly; generation is a few
+seconds for the larger presets, so instances are memoized per
+``(name, preset, seed)``.  Set ``cache_dir`` to persist as ``.tns`` files
+between processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..tensor.coo import COOTensor
+from ..tensor.io import read_tns, write_tns
+from ..types import SeedLike
+from .registry import get_spec
+from .synthetic import generate_dataset
+
+_MEMORY_CACHE: dict[tuple, tuple[COOTensor, list[np.ndarray] | None]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized datasets (tests use this to bound memory)."""
+    _MEMORY_CACHE.clear()
+
+
+def load_dataset(name: str, preset: str = "small", seed: SeedLike = None,
+                 cache_dir: str | Path | None = None
+                 ) -> tuple[COOTensor, list[np.ndarray] | None]:
+    """Load (or generate) a dataset instance.
+
+    Returns ``(tensor, truth_factors)``; the truth is ``None`` when the
+    instance was re-read from a disk cache (factors are not persisted).
+    """
+    spec = get_spec(name)
+    key = (spec.name, preset, None if isinstance(seed, np.random.Generator)
+           else seed)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+
+    if cache_dir is not None:
+        path = Path(cache_dir) / f"{spec.name}-{preset}.tns"
+        if path.exists():
+            tensor = read_tns(path)
+            result: tuple[COOTensor, list[np.ndarray] | None] = (tensor, None)
+            _MEMORY_CACHE[key] = result
+            return result
+
+    tensor, truth = generate_dataset(spec, preset, seed)
+    result = (tensor, truth)
+    _MEMORY_CACHE[key] = result
+
+    if cache_dir is not None:
+        Path(cache_dir).mkdir(parents=True, exist_ok=True)
+        write_tns(tensor, Path(cache_dir) / f"{spec.name}-{preset}.tns",
+                  header=f"repro synthetic {spec.name} preset={preset}")
+    return result

@@ -1,0 +1,87 @@
+"""Zipf / power-law utilities.
+
+Real-world sparse tensors exhibit power-law non-zero distributions
+(paper Section IV-B: "a product rating tensor ... will have some popular
+items and prolific users, while on average each item and user only have a
+few submitted ratings").  These helpers produce Zipf-distributed slice
+masses both for generating scaled tensors and for describing full-scale
+workloads analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf probability over ``n`` ranks: ``p_r ~ r^-exponent``.
+
+    ``exponent = 0`` degenerates to uniform.
+    """
+    require(n >= 1, "need at least one rank")
+    require(exponent >= 0.0, "exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def zipf_expected_counts(n: int, total: float,
+                         exponent: float) -> np.ndarray:
+    """Expected per-rank counts of *total* draws from a Zipf over *n* ranks."""
+    return zipf_weights(n, exponent) * float(total)
+
+
+def compressed_zipf_counts(n: int, total: float, exponent: float,
+                           max_items: int = 65536
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Zipf expected counts compressed to at most *max_items* entries.
+
+    Returns ``(counts, multiplicity)``: the first entries are the exact
+    heavy head (multiplicity 1); the long tail is grouped into equal-rank
+    bands whose members share the band's mean count.  Total mass
+    ``sum(counts * multiplicity) == total`` is preserved exactly.
+
+    This keeps full-scale descriptors (tens of millions of slices) small
+    enough to replay through the machine scheduler, while preserving the
+    head that actually causes load imbalance.
+    """
+    require(max_items >= 2, "need at least two items")
+    if n <= max_items:
+        counts = zipf_expected_counts(n, total, exponent)
+        return counts, np.ones(n, dtype=np.int64)
+
+    head_n = max_items // 2
+    n_bands = max_items - head_n
+    weights = zipf_weights(n, exponent)
+    head = weights[:head_n] * total
+
+    # Tail: group ranks head_n..n into equal-size bands.
+    tail_weights = weights[head_n:]
+    tail_total = tail_weights.sum() * total
+    tail_n = n - head_n
+    band_sizes = np.full(n_bands, tail_n // n_bands, dtype=np.int64)
+    band_sizes[: tail_n % n_bands] += 1
+    # Cumulative tail mass at band boundaries -> per-band mass.
+    bounds = np.r_[0, np.cumsum(band_sizes)]
+    cum = np.r_[0.0, np.cumsum(tail_weights)] * total
+    band_mass = cum[bounds[1:]] - cum[bounds[:-1]]
+    band_counts = band_mass / np.maximum(band_sizes, 1)
+
+    counts = np.r_[head, band_counts]
+    multiplicity = np.r_[np.ones(head_n, dtype=np.int64), band_sizes]
+    return counts, multiplicity
+
+
+def distinct_values_estimate(draws: np.ndarray | float,
+                             universe: float) -> np.ndarray:
+    """Expected distinct values among ``draws`` uniform picks from ``universe``.
+
+    The balls-in-bins estimate ``U * (1 - exp(-d / U))`` — used to convert
+    per-slice non-zero counts into per-slice fiber counts for the MTTKRP
+    cost model (each fiber is a distinct middle-mode index within a slice).
+    """
+    require(universe >= 1, "universe must be positive")
+    draws = np.asarray(draws, dtype=np.float64)
+    return universe * (1.0 - np.exp(-draws / universe))

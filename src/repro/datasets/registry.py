@@ -1,0 +1,163 @@
+"""Dataset specifications mirroring the paper's Table I.
+
+Each spec records the FROSTT tensor's full-scale shape and non-zero count
+plus the statistical knobs (per-mode Zipf exponents, planted rank, noise)
+used to generate shape-faithful scaled instances.  Scale presets:
+
+* ``"tiny"`` — unit/integration tests (seconds).
+* ``"small"`` — examples and convergence/fraction benchmarks.
+* ``"medium"`` — the Table II timing runs.
+
+Exponents are chosen to reproduce each corpus's qualitative skew: user/
+item/word marginals are heavy-tailed (Reddit, Amazon), NELL's noun/verb
+marginals extremely so (hypersparse with a dense core), while Patents'
+year mode is short and near-uniform with word-word co-occurrence skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..validation import require
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """A generation size for a dataset."""
+
+    shape: tuple[int, ...]
+    nnz: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistical description of one corpus."""
+
+    name: str
+    #: Full-scale shape from Table I.
+    full_shape: tuple[int, ...]
+    #: Full-scale non-zero count from Table I.
+    full_nnz: int
+    #: Per-mode Zipf exponents of the marginal non-zero distributions.
+    zipf_exponents: tuple[float, ...]
+    #: Rank of the planted non-negative structure in generated instances.
+    planted_rank: int
+    #: Relative value noise of generated instances.
+    noise: float
+    #: Fraction of the tensor's energy carried by an unstructured
+    #: (uniform-coordinate) component.  Real corpora are far from
+    #: low-rank; this sets the achievable relative-error floor at
+    #: roughly ``sqrt(unstructured_energy)``, letting each synthetic
+    #: instance converge into its paper counterpart's error range.
+    unstructured_energy: float = 0.0
+    #: Scaled generation presets.
+    presets: dict[str, ScalePreset] = field(default_factory=dict)
+    description: str = ""
+
+    def preset(self, name: str) -> ScalePreset:
+        require(name in self.presets,
+                f"dataset {self.name!r} has no preset {name!r}; "
+                f"available: {sorted(self.presets)}")
+        return self.presets[name]
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "reddit": DatasetSpec(
+        name="reddit",
+        full_shape=(310_000, 6_000, 510_000),
+        full_nnz=95_000_000,
+        zipf_exponents=(1.05, 0.80, 1.10),
+        planted_rank=16,
+        noise=0.2,
+        unstructured_energy=0.74,
+        presets={
+            "tiny": ScalePreset((620, 60, 1020), 20_000),
+            "small": ScalePreset((3100, 120, 5100), 250_000),
+            "medium": ScalePreset((6200, 240, 10200), 700_000),
+        },
+        description="user x community x word comment counts (2007-2010)",
+    ),
+    "nell": DatasetSpec(
+        name="nell",
+        full_shape=(3_000_000, 2_000_000, 25_000_000),
+        full_nnz=143_000_000,
+        zipf_exponents=(1.25, 1.25, 1.35),
+        planted_rank=16,
+        noise=0.15,
+        unstructured_energy=0.3,
+        presets={
+            "tiny": ScalePreset((3000, 2000, 9000), 15_000),
+            "small": ScalePreset((20_000, 14_000, 60_000), 180_000),
+            "medium": ScalePreset((40_000, 28_000, 120_000), 450_000),
+        },
+        description="noun x verb x noun triples (Never Ending Language "
+                    "Learning); hypersparse with very long modes",
+    ),
+    "amazon": DatasetSpec(
+        name="amazon",
+        full_shape=(5_000_000, 18_000_000, 2_000_000),
+        full_nnz=1_700_000_000,
+        zipf_exponents=(1.00, 1.10, 0.95),
+        planted_rank=16,
+        noise=0.15,
+        unstructured_energy=0.43,
+        presets={
+            "tiny": ScalePreset((1500, 4000, 700), 30_000),
+            "small": ScalePreset((5000, 14_000, 2400), 400_000),
+            "medium": ScalePreset((10_000, 28_000, 4800), 1_000_000),
+        },
+        description="user x item x word product reviews; non-zero heavy",
+    ),
+    "patents": DatasetSpec(
+        name="patents",
+        full_shape=(46, 240_000, 240_000),
+        full_nnz=3_500_000_000,
+        zipf_exponents=(0.10, 1.05, 1.05),
+        planted_rank=16,
+        noise=0.15,
+        unstructured_energy=0.3,
+        presets={
+            "tiny": ScalePreset((46, 600, 600), 40_000),
+            "small": ScalePreset((46, 2200, 2200), 500_000),
+            "medium": ScalePreset((46, 4000, 4000), 1_200_000),
+        },
+        description="year x word x word co-occurrence probabilities; "
+                    "short first mode, comparatively dense",
+    ),
+    # Not part of the paper's Table I: a four-mode FROSTT corpus that
+    # exercises the general-order CSF/MTTKRP path (paper Figure 2 shows a
+    # four-mode CSF; the algorithms are order-generic).
+    "enron": DatasetSpec(
+        name="enron",
+        full_shape=(6_066, 5_699, 244_268, 1_176),
+        full_nnz=54_000_000,
+        zipf_exponents=(1.10, 1.10, 1.05, 0.30),
+        planted_rank=12,
+        noise=0.15,
+        unstructured_energy=0.35,
+        presets={
+            "tiny": ScalePreset((300, 280, 1200, 60), 25_000),
+            "small": ScalePreset((1200, 1100, 5000, 230), 300_000),
+            "medium": ScalePreset((2400, 2200, 10_000, 470), 800_000),
+        },
+        description="sender x receiver x word x date e-mail corpus "
+                    "(four modes; exercises general-order kernels)",
+    ),
+}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Names in the paper's Table I order."""
+    return ("reddit", "nell", "amazon", "patents")
+
+
+def all_dataset_names() -> tuple[str, ...]:
+    """Every registered dataset, including the non-Table-I extras."""
+    return tuple(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    require(name in DATASETS,
+            f"unknown dataset {name!r}; available: {dataset_names()}")
+    return DATASETS[name]

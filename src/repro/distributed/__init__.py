@@ -1,0 +1,35 @@
+"""Distributed-memory AO-ADMM (the extension paper Section IV-B sketches).
+
+"Since each block is processed independently, no communication needs to
+occur beyond the MTTKRP operation, which has efficient distributed-memory
+algorithms [17], [23]."
+
+This subpackage realizes that sketch on a simulated message-passing
+substrate (we have one process, not a cluster):
+
+* :mod:`repro.distributed.comm` — an in-process communicator that
+  executes rank-parallel sections sequentially while accounting every
+  collective's bytes and a latency/bandwidth time model;
+* :mod:`repro.distributed.partition` — non-zero-balanced 1-D tensor
+  partitions with factor row ranges aligned to ADMM block boundaries;
+* :mod:`repro.distributed.daoadmm` — the distributed driver: local
+  MTTKRP + one allreduce per mode, then fully local blocked ADMM on each
+  rank's row range, then an allgather of the updated rows.
+
+Numerical results are *identical* to the shared-memory blocked solver
+(asserted in tests): distribution changes where work runs, not what is
+computed.
+"""
+
+from .comm import CollectiveLog, SimComm
+from .partition import DistributedPartition, partition_tensor
+from .daoadmm import DistributedResult, fit_aoadmm_distributed
+
+__all__ = [
+    "SimComm",
+    "CollectiveLog",
+    "DistributedPartition",
+    "partition_tensor",
+    "DistributedResult",
+    "fit_aoadmm_distributed",
+]

@@ -1,0 +1,121 @@
+"""A simulated message-passing communicator.
+
+Executes "rank-parallel" numerical work in-process (sequentially) while
+modelling the communication a real MPI job would pay.  Collectives take
+NumPy arrays exactly as ``mpi4py``'s buffer interface would, so the
+calling code reads like an MPI program; every call is logged with its
+byte volume and charged against a latency + bandwidth time model
+
+``T(op) = alpha * ceil(log2 P) + bytes_on_wire / beta``
+
+(the standard tree/butterfly collective model).  The simulated times feed
+the distributed scaling study; the numerics are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..validation import require
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One logged collective operation."""
+
+    op: str
+    bytes_on_wire: int
+    seconds: float
+
+
+@dataclass
+class CollectiveLog:
+    """Accumulated communication accounting."""
+
+    records: list[CollectiveRecord] = field(default_factory=list)
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes_on_wire for r in self.records)
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def count(self, op: str | None = None) -> int:
+        if op is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.op == op)
+
+
+class SimComm:
+    """An MPI-like world of ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    latency:
+        Per-collective-stage latency ``alpha`` (seconds).
+    bandwidth:
+        Per-link bandwidth ``beta`` (bytes/second).
+    """
+
+    def __init__(self, size: int, latency: float = 10e-6,
+                 bandwidth: float = 10e9):
+        require(size >= 1, "world size must be positive")
+        require(latency >= 0 and bandwidth > 0, "bad network parameters")
+        self.size = int(size)
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.log = CollectiveLog()
+
+    # ------------------------------------------------------------------
+    def _charge(self, op: str, bytes_on_wire: int) -> None:
+        stages = max(1, math.ceil(math.log2(self.size))) \
+            if self.size > 1 else 0
+        seconds = (stages * self.latency
+                   + bytes_on_wire / self.bandwidth) if self.size > 1 \
+            else 0.0
+        self.log.records.append(
+            CollectiveRecord(op=op, bytes_on_wire=bytes_on_wire,
+                             seconds=seconds))
+
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Sum one array per rank; every rank receives the total.
+
+        Wire volume follows the ring/recursive-halving allreduce:
+        ``2 * (P-1)/P * n`` elements per rank.
+        """
+        require(len(contributions) == self.size,
+                "one contribution per rank required")
+        total = contributions[0].copy()
+        for arr in contributions[1:]:
+            total += arr
+        n_bytes = total.nbytes
+        wire = int(2 * (self.size - 1) / max(self.size, 1) * n_bytes)
+        self._charge("allreduce", wire)
+        return total
+
+    def allgather_rows(self, parts: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank row blocks; every rank receives the whole.
+
+        Wire volume: each rank sends its part to P-1 peers along a ring —
+        ``(P-1)/P * total`` bytes on the wire per rank direction.
+        """
+        require(len(parts) == self.size, "one part per rank required")
+        out = np.concatenate(parts, axis=0)
+        wire = int((self.size - 1) / max(self.size, 1) * out.nbytes)
+        self._charge("allgather", wire)
+        return out
+
+    def broadcast(self, value: np.ndarray) -> np.ndarray:
+        """Root sends to everyone (tree)."""
+        self._charge("broadcast", int(value.nbytes))
+        return value
+
+    def barrier(self) -> None:
+        """Synchronize (latency only)."""
+        self._charge("barrier", 0)

@@ -1,0 +1,201 @@
+"""MTTKRP dispatch and the stateful engine used by the AO-ADMM driver.
+
+:func:`mttkrp` is the stateless convenience entry point.
+:class:`MTTKRPEngine` is what the factorization loop uses: it owns the
+per-mode CSF trees (built once — the tensor's pattern is static) and the
+per-mode factor *representations* (rebuilt when a factor changes — the
+factors' sparsity is dynamic, Section IV-C), and it records per-call
+statistics for the benchmark harness and the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..config import SPARSITY_THRESHOLD
+from ..sparse.analysis import choose_representation, density
+from ..sparse.csr import CSRMatrix
+from ..sparse.hybrid import HybridFactor
+from ..tensor.coo import COOTensor
+from ..tensor.csf import AllModeCSF, CSFTensor
+from ..types import FactorList
+from ..validation import check_mode, require
+from .mttkrp_coo import mttkrp_coo
+from .mttkrp_csf import mttkrp_csf
+from .mttkrp_sparse import (
+    FactorRepresentation,
+    leaf_aggregator,
+    mttkrp_csf_root_repr,
+    representation_name,
+    representation_nnz,
+)
+
+#: Factor-representation policies for :class:`MTTKRPEngine`.
+ReprPolicy = Literal["dense", "csr", "hybrid", "auto"]
+
+
+def mttkrp(tensor: COOTensor | CSFTensor | AllModeCSF, factors: FactorList,
+           mode: int, method: str = "auto") -> np.ndarray:
+    """Compute MTTKRP for *mode* with the requested *method*.
+
+    ``method="auto"`` uses the CSF root kernel when given CSF data and the
+    vectorized COO kernel otherwise.
+    """
+    if isinstance(tensor, AllModeCSF):
+        return mttkrp_csf(tensor.csf(mode), factors, mode)
+    if isinstance(tensor, CSFTensor):
+        return mttkrp_csf(tensor, factors, mode)
+    require(isinstance(tensor, COOTensor), "unsupported tensor type")
+    if method in ("auto", "coo"):
+        return mttkrp_coo(tensor, factors, mode)
+    if method == "csf":
+        return mttkrp_csf(
+            CSFTensor.from_coo(tensor,
+                               mode_order=None if mode == 0 else
+                               (mode,) + tuple(m for m in range(tensor.nmodes)
+                                               if m != mode)),
+            factors, mode)
+    raise ValueError(f"unknown MTTKRP method {method!r}")
+
+
+@dataclass
+class MTTKRPCallStats:
+    """Bookkeeping for one MTTKRP invocation."""
+
+    mode: int
+    leaf_mode: int
+    representation: str
+    gathered_nnz: int
+    tensor_nnz: int
+
+
+class MTTKRPEngine:
+    """Per-mode CSF trees + dynamic factor representations.
+
+    Parameters
+    ----------
+    tensor:
+        The sparse tensor (COO); one CSF tree per mode is built lazily.
+    repr_policy:
+        ``"dense"`` — always dense factors (the paper's DENSE baseline);
+        ``"csr"`` / ``"hybrid"`` — force that structure whenever the factor
+        is below the density threshold; ``"auto"`` — apply
+        :func:`repro.sparse.analysis.choose_representation`.
+    sparsity_threshold:
+        Density below which a factor may be stored sparse (paper: 20%).
+    tol:
+        Magnitude at or below which a factor entry counts as zero.
+    """
+
+    def __init__(self, tensor: COOTensor,
+                 repr_policy: ReprPolicy = "dense",
+                 sparsity_threshold: float = SPARSITY_THRESHOLD,
+                 tol: float = 0.0,
+                 csf_allocation: str = "all"):
+        require(repr_policy in ("dense", "csr", "hybrid", "auto"),
+                f"unknown representation policy {repr_policy!r}")
+        require(csf_allocation in ("all", "one"),
+                f"unknown CSF allocation {csf_allocation!r}")
+        self.trees = AllModeCSF(tensor)
+        #: "all" builds one tree per mode (SPLATT's ALLMODE — fastest);
+        #: "one" keeps a single tree and serves the other modes with the
+        #: internal/leaf kernels (SPLATT's memory-lean ONEMODE policy).
+        self.csf_allocation = csf_allocation
+        self.repr_policy: ReprPolicy = repr_policy
+        self.sparsity_threshold = float(sparsity_threshold)
+        self.tol = float(tol)
+        self._reps: dict[int, FactorRepresentation] = {}
+        self._rep_names: dict[int, str] = {}
+        self._aggregators: dict[int, object] = {}
+        #: Stats of every MTTKRP call, in order.
+        self.call_log: list[MTTKRPCallStats] = []
+
+    @property
+    def nmodes(self) -> int:
+        return self.trees.nmodes
+
+    # ------------------------------------------------------------------
+    # Representation management
+    # ------------------------------------------------------------------
+    def update_factor(self, mode: int, factor: np.ndarray) -> str:
+        """Re-derive the representation of *mode*'s factor; returns its name.
+
+        Called by the driver after every factor update — this is where the
+        dynamic sparsity of Section IV-C enters.  The ``O(I F)``
+        construction cost is accepted exactly as in the paper (amortized
+        over the ADMM iterations of the following outer sweep).
+        """
+        mode = check_mode(mode, self.nmodes)
+        name = self._decide(factor)
+        if name == "csr":
+            rep: FactorRepresentation = CSRMatrix.from_dense(
+                factor, tol=self.tol)
+        elif name == "csr-h":
+            rep = HybridFactor(factor, tol=self.tol)
+        else:
+            rep = np.ascontiguousarray(factor)
+        self._reps[mode] = rep
+        self._rep_names[mode] = name
+        return name
+
+    def representation(self, mode: int) -> str:
+        """Current representation name of *mode* (default ``"dense"``)."""
+        return self._rep_names.get(mode, "dense")
+
+    def _decide(self, factor: np.ndarray) -> str:
+        if self.repr_policy == "dense":
+            return "dense"
+        dens = density(factor, self.tol)
+        if dens >= self.sparsity_threshold:
+            return "dense"
+        if self.repr_policy == "csr":
+            return "csr"
+        if self.repr_policy == "hybrid":
+            return "csr-h"
+        choice = choose_representation(
+            factor, self.tol, self.sparsity_threshold)
+        return {"dense": "dense", "csr": "csr", "hybrid": "csr-h"}[choice]
+
+    # ------------------------------------------------------------------
+    # The kernel entry point
+    # ------------------------------------------------------------------
+    def mttkrp(self, factors: FactorList, mode: int) -> np.ndarray:
+        """MTTKRP for *mode*, honoring the deep factor's representation."""
+        mode = check_mode(mode, self.nmodes)
+        if self.csf_allocation == "one":
+            # Memory-lean: a single mode-0-rooted tree serves every mode
+            # via the root / internal / leaf kernels.  Sparse factor
+            # representations need the root kernel's leaf aggregation, so
+            # this policy always computes dense (documented trade-off).
+            csf = self.trees.csf(0)
+            out = mttkrp_csf(csf, factors, mode)
+            self.call_log.append(MTTKRPCallStats(
+                mode=mode, leaf_mode=csf.mode_order[-1],
+                representation="dense",
+                gathered_nnz=csf.nnz * int(np.asarray(factors[0]).shape[1]),
+                tensor_nnz=csf.nnz))
+            return out
+        csf = self.trees.csf(mode)
+        leaf_mode = csf.mode_order[-1]
+        rep = self._reps.get(leaf_mode)
+        if rep is None or isinstance(rep, np.ndarray):
+            # Dense path: plain Algorithm 3.
+            out = mttkrp_csf_root_repr(csf, factors, None)
+            rep_name = "dense"
+            touched = csf.nnz * int(np.asarray(factors[0]).shape[1])
+        else:
+            agg = self._aggregators.get(mode)
+            if agg is None:
+                # One-time per tree: the tensor pattern is static.
+                agg = leaf_aggregator(csf)
+                self._aggregators[mode] = agg
+            out = mttkrp_csf_root_repr(csf, factors, rep, aggregator=agg)
+            rep_name = representation_name(rep)
+            touched = representation_nnz(rep, csf.fids[csf.nmodes - 1])
+        self.call_log.append(MTTKRPCallStats(
+            mode=mode, leaf_mode=leaf_mode, representation=rep_name,
+            gathered_nnz=touched, tensor_nnz=csf.nnz))
+        return out

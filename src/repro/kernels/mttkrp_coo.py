@@ -1,0 +1,63 @@
+"""MTTKRP on coordinate tensors.
+
+:func:`mttkrp_coo_reference` is the transparent triple-checkable oracle
+(explicit Python loop); :func:`mttkrp_coo` is the production COO path —
+one Khatri-Rao row gather plus a sort-based row scatter.  COO does not see
+the fiber structure, so it re-reads a row of every non-target factor per
+non-zero; the CSF kernels avoid exactly that (see
+:mod:`repro.kernels.mttkrp_csf`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.khatri_rao import khatri_rao_rows
+from ..tensor.coo import COOTensor
+from ..types import VALUE_DTYPE, FactorList
+from ..validation import check_mode, require
+from .scatter import scatter_add_rows
+
+
+def _check_factors(tensor_shape: tuple[int, ...], factors: FactorList) -> int:
+    require(len(factors) == len(tensor_shape),
+            "one factor per tensor mode required")
+    rank = np.asarray(factors[0]).shape[1]
+    for m, factor in enumerate(factors):
+        factor = np.asarray(factor)
+        require(factor.shape == (tensor_shape[m], rank),
+                f"factor {m} has shape {factor.shape}, expected "
+                f"({tensor_shape[m]}, {rank})")
+    return rank
+
+
+def mttkrp_coo_reference(tensor: COOTensor, factors: FactorList,
+                         mode: int) -> np.ndarray:
+    """Oracle MTTKRP: per-non-zero Python loop.  Tests only."""
+    mode = check_mode(mode, tensor.nmodes)
+    rank = _check_factors(tensor.shape, factors)
+    out = np.zeros((tensor.shape[mode], rank), dtype=VALUE_DTYPE)
+    others = [m for m in range(tensor.nmodes) if m != mode]
+    for p in range(tensor.nnz):
+        row = np.full(rank, tensor.vals[p], dtype=VALUE_DTYPE)
+        for m in others:
+            row = row * np.asarray(factors[m])[tensor.coords[m, p]]
+        out[tensor.coords[mode, p]] += row
+    return out
+
+
+def mttkrp_coo(tensor: COOTensor, factors: FactorList,
+               mode: int) -> np.ndarray:
+    """Vectorized COO MTTKRP.
+
+    ``K[i, :] = sum_{p: coords[mode, p] == i} vals[p] *
+    prod_{m != mode} factors[m][coords[m, p], :]``
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    rank = _check_factors(tensor.shape, factors)
+    out = np.zeros((tensor.shape[mode], rank), dtype=VALUE_DTYPE)
+    if tensor.nnz == 0:
+        return out
+    rows = khatri_rao_rows(factors, mode, tensor.coords)
+    rows *= tensor.vals[:, None]
+    return scatter_add_rows(out, tensor.coords[mode], rows)

@@ -1,0 +1,119 @@
+"""MTTKRP on CSF tensors (paper Algorithm 3, generalized to any order).
+
+Three kernels, selected by where the target mode sits in the CSF's mode
+order:
+
+* **root** — the target mode is the tree root.  A single bottom-up sweep:
+  scale leaf factor rows by the values, segment-sum into fibers, multiply
+  by the fiber-level factor rows, segment-sum into slices, write the output
+  rows.  No scatter conflicts; this is the kernel the paper parallelizes
+  over slices.
+* **leaf** — the target mode is the deepest level.  Top-down propagation of
+  the ancestor row products, then a scatter-add keyed on the leaf ids.
+* **internal** — anything in between: an upward sweep to the target level
+  meets a downward sweep; the per-node products are scattered on the
+  target-level ids.
+
+All three vectorize the tree traversals with ``repeat`` (downward) and
+``reduceat`` (upward) over the level pointer arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.csf import CSFTensor
+from ..types import VALUE_DTYPE, FactorList
+from ..validation import check_mode, require
+from .scatter import scatter_add_rows, segment_sums
+
+
+def _rank_of(factors: FactorList) -> int:
+    return int(np.asarray(factors[0]).shape[1])
+
+
+def _upward_to_level(csf: CSFTensor, factors: FactorList,
+                     stop_level: int) -> np.ndarray:
+    """Aggregate value-scaled factor rows from the leaves up to *stop_level*.
+
+    Returns one row per node at ``stop_level``; the product **excludes**
+    the factor of ``stop_level`` itself.
+    """
+    order = csf.mode_order
+    nmodes = csf.nmodes
+    acc = csf.vals[:, None] * np.asarray(
+        factors[order[nmodes - 1]])[csf.fids[nmodes - 1]]
+    for level in range(nmodes - 2, stop_level - 1, -1):
+        acc = segment_sums(acc, csf.fptr[level][:-1])
+        if level != stop_level:
+            acc = acc * np.asarray(factors[order[level]])[csf.fids[level]]
+    return acc
+
+
+def _downward_to_level(csf: CSFTensor, factors: FactorList,
+                       stop_level: int) -> np.ndarray:
+    """Propagate ancestor row products from the roots down to *stop_level*.
+
+    Returns one row per node at ``stop_level``; the product **excludes**
+    the factor of ``stop_level`` itself.
+    """
+    order = csf.mode_order
+    acc = np.asarray(factors[order[0]])[csf.fids[0]]
+    for level in range(1, stop_level + 1):
+        acc = np.repeat(acc, np.diff(csf.fptr[level - 1]), axis=0)
+        if level != stop_level:
+            acc = acc * np.asarray(factors[order[level]])[csf.fids[level]]
+    return acc
+
+
+def mttkrp_csf_root(csf: CSFTensor, factors: FactorList) -> np.ndarray:
+    """MTTKRP for the CSF's root mode (paper Algorithm 3)."""
+    rank = _rank_of(factors)
+    root_mode = csf.mode_order[0]
+    out = np.zeros((csf.shape[root_mode], rank), dtype=VALUE_DTYPE)
+    if csf.nnz == 0:
+        return out
+    require(csf.nmodes >= 2, "MTTKRP needs at least two modes")
+    slice_rows = _upward_to_level(csf, factors, 0)
+    out[csf.fids[0]] = slice_rows
+    return out
+
+
+def mttkrp_csf_leaf(csf: CSFTensor, factors: FactorList) -> np.ndarray:
+    """MTTKRP for the CSF's deepest mode."""
+    rank = _rank_of(factors)
+    leaf_level = csf.nmodes - 1
+    leaf_mode = csf.mode_order[leaf_level]
+    out = np.zeros((csf.shape[leaf_mode], rank), dtype=VALUE_DTYPE)
+    if csf.nnz == 0:
+        return out
+    require(csf.nmodes >= 2, "MTTKRP needs at least two modes")
+    prod = _downward_to_level(csf, factors, leaf_level)
+    prod = prod * csf.vals[:, None]
+    return scatter_add_rows(out, csf.fids[leaf_level], prod)
+
+
+def mttkrp_csf_internal(csf: CSFTensor, factors: FactorList,
+                        level: int) -> np.ndarray:
+    """MTTKRP for the mode at an internal CSF *level* (0 < level < N-1)."""
+    require(0 < level < csf.nmodes - 1,
+            f"level {level} is not internal for {csf.nmodes} modes")
+    rank = _rank_of(factors)
+    target_mode = csf.mode_order[level]
+    out = np.zeros((csf.shape[target_mode], rank), dtype=VALUE_DTYPE)
+    if csf.nnz == 0:
+        return out
+    upward = _upward_to_level(csf, factors, level)
+    downward = _downward_to_level(csf, factors, level)
+    return scatter_add_rows(out, csf.fids[level], upward * downward)
+
+
+def mttkrp_csf(csf: CSFTensor, factors: FactorList, mode: int) -> np.ndarray:
+    """MTTKRP for any *mode*, picking the kernel by the mode's CSF level."""
+    mode = check_mode(mode, csf.nmodes)
+    level = csf.mode_order.index(mode)
+    if level == 0:
+        return mttkrp_csf_root(csf, factors)
+    if level == csf.nmodes - 1:
+        return mttkrp_csf_leaf(csf, factors)
+    return mttkrp_csf_internal(csf, factors, level)

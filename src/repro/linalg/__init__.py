@@ -1,0 +1,25 @@
+"""Dense linear-algebra substrate (the MKL role in the paper's stack)."""
+
+from .khatri_rao import khatri_rao, khatri_rao_excluding
+from .grams import gram, hadamard_gram_excluding, GramCache
+from .cholesky import CholeskyFactor, spd_solve
+from .norms import (
+    column_norms,
+    normalize_factors,
+    factor_frobenius_inner,
+    model_norm_squared,
+)
+
+__all__ = [
+    "khatri_rao",
+    "khatri_rao_excluding",
+    "gram",
+    "hadamard_gram_excluding",
+    "GramCache",
+    "CholeskyFactor",
+    "spd_solve",
+    "column_norms",
+    "normalize_factors",
+    "factor_frobenius_inner",
+    "model_norm_squared",
+]

@@ -1,0 +1,87 @@
+"""Gram matrices and their Hadamard products.
+
+AO-ADMM's normal equations use ``G = hadamard of A_n^T A_n over n != mode``
+(paper Algorithm 2, lines 4/8/12).  The individual ``F x F`` Grams only
+change when their factor is updated, so :class:`GramCache` recomputes one
+Gram per mode update instead of ``N-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import VALUE_DTYPE, FactorList
+from ..validation import require
+
+
+def gram(factor: np.ndarray) -> np.ndarray:
+    """``A^T A`` as a symmetric ``F x F`` matrix."""
+    factor = np.asarray(factor, dtype=VALUE_DTYPE)
+    out = factor.T @ factor
+    # Enforce exact symmetry against BLAS rounding asymmetry.
+    return (out + out.T) * 0.5
+
+
+def hadamard_gram_excluding(factors: FactorList, mode: int) -> np.ndarray:
+    """Hadamard product of all Grams except *mode*'s."""
+    others = [m for m in range(len(factors)) if m != mode]
+    require(others, "tensor must have at least two modes")
+    out = gram(factors[others[0]])
+    for m in others[1:]:
+        out *= gram(factors[m])
+    return out
+
+
+def hadamard_gram_all(factors: FactorList) -> np.ndarray:
+    """Hadamard product of every factor's Gram (used by ``||X_hat||^2``)."""
+    out = gram(factors[0])
+    for f in factors[1:]:
+        out *= gram(f)
+    return out
+
+
+class GramCache:
+    """Caches ``A_n^T A_n`` per mode and composes them on demand.
+
+    Call :meth:`invalidate` after updating a factor; :meth:`gram_excluding`
+    then recomputes only the stale entries.
+    """
+
+    def __init__(self, factors: FactorList):
+        self._factors = list(factors)
+        self._grams: list[np.ndarray | None] = [None] * len(self._factors)
+
+    def set_factor(self, mode: int, factor: np.ndarray) -> None:
+        """Replace a factor and invalidate its cached Gram."""
+        self._factors[mode] = factor
+        self._grams[mode] = None
+
+    def invalidate(self, mode: int) -> None:
+        """Mark mode's Gram stale (factor mutated in place)."""
+        self._grams[mode] = None
+
+    def gram(self, mode: int) -> np.ndarray:
+        """The (possibly cached) Gram of one mode."""
+        cached = self._grams[mode]
+        if cached is None:
+            cached = gram(self._factors[mode])
+            self._grams[mode] = cached
+        return cached
+
+    def gram_excluding(self, mode: int) -> np.ndarray:
+        """Hadamard product of all Grams except *mode*'s."""
+        others = [m for m in range(len(self._factors)) if m != mode]
+        require(others, "tensor must have at least two modes")
+        out = self.gram(others[0]).copy()
+        for m in others[1:]:
+            out *= self.gram(m)
+        return out
+
+    def gram_all(self) -> np.ndarray:
+        """Hadamard product of every mode's Gram."""
+        out = self.gram(0).copy()
+        for m in range(1, len(self._factors)):
+            out *= self.gram(m)
+        return out

@@ -1,0 +1,66 @@
+"""Khatri-Rao products (column-wise Kronecker products).
+
+Conventions match :mod:`repro.tensor.matricize`: for the mode-``n``
+unfolding, the Khatri-Rao product runs over the remaining modes in
+**decreasing** order, so that the first remaining mode varies fastest in
+the row index — ``X_(0) ~= A0 @ khatri_rao_excluding(factors, 0).T``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import VALUE_DTYPE, FactorList
+from ..validation import require
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of *matrices*, last matrix varying fastest.
+
+    For ``matrices = [P, Q]`` with shapes ``(p, F)`` and ``(q, F)``, the
+    result has shape ``(p*q, F)`` and row ``i*q + j`` equals
+    ``P[i, :] * Q[j, :]``.
+    """
+    require(len(matrices) >= 1, "need at least one matrix")
+    mats = [np.asarray(m, dtype=VALUE_DTYPE) for m in matrices]
+    rank = mats[0].shape[1]
+    for m in mats:
+        require(m.ndim == 2 and m.shape[1] == rank,
+                "all matrices must share the same column count")
+    out = mats[0]
+    for mat in mats[1:]:
+        # (rows_out, 1, F) * (1, rows_mat, F) -> (rows_out * rows_mat, F)
+        out = (out[:, None, :] * mat[None, :, :]).reshape(-1, rank)
+    return out
+
+
+def khatri_rao_excluding(factors: FactorList, mode: int) -> np.ndarray:
+    """Khatri-Rao over all factors except *mode*, decreasing mode order.
+
+    The output row indexed by linearized coordinates (lower modes fastest)
+    matches the unfolding column convention of
+    :func:`repro.tensor.matricize.matricize_coo`.
+    """
+    others = [m for m in range(len(factors)) if m != mode]
+    require(others, "tensor must have at least two modes")
+    return khatri_rao([np.asarray(factors[m]) for m in reversed(others)])
+
+
+def khatri_rao_rows(factors: FactorList, mode: int,
+                    coords: np.ndarray) -> np.ndarray:
+    """Rows of ``khatri_rao_excluding`` gathered at the given coordinates.
+
+    ``coords`` is the full ``(nmodes, n)`` coordinate array; only the modes
+    other than *mode* are consulted.  This never materializes the full
+    Khatri-Rao product — it is the gather the MTTKRP kernels rely on.
+    """
+    nmodes = len(factors)
+    n = coords.shape[1]
+    rank = np.asarray(factors[0]).shape[1]
+    out = np.ones((n, rank), dtype=VALUE_DTYPE)
+    for m in range(nmodes):
+        if m != mode:
+            out *= np.asarray(factors[m])[coords[m]]
+    return out

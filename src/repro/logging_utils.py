@@ -1,0 +1,37 @@
+"""Logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures the root logger, so that embedding
+applications keep full control.  :func:`enable_console_logging` is a
+convenience for scripts and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger inside the ``repro`` namespace.
+
+    ``get_logger("core.aoadmm")`` yields the ``repro.core.aoadmm`` logger.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger (idempotent-ish).
+
+    Returns the handler so callers can remove it again.
+    """
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,69 @@
+"""Cache-residency traffic models.
+
+Three access patterns matter in this workload, with very different DRAM
+footprints:
+
+* **streaming** — tall matrices passed over linearly every inner iteration
+  (baseline ADMM): when the pass size exceeds the LLC nothing survives
+  between passes, so every pass pays full traffic.
+* **blocked** — a row block iterated repeatedly (blocked ADMM): the block
+  working set is fetched once and stays resident while the block converges
+  (Section IV-B's temporal locality), so traffic is first-touch only.
+* **gather** — random-ish row reads of a factor (MTTKRP): misses depend on
+  the factor's size relative to the cache, softened because CSF's sorted
+  traversal gives ascending, prefetch-friendly index sequences.
+"""
+
+from __future__ import annotations
+
+from ..validation import require
+
+
+def miss_rate(working_set_bytes: float, llc_bytes: float,
+              base: float = 0.02, cap: float = 0.5,
+              locality: float = 0.045) -> float:
+    """Fraction of gather accesses served from DRAM.
+
+    ``base`` is the floor (cold/conflict misses when everything fits);
+    above the LLC size the rate grows with the working-set ratio, damped
+    by ``locality`` (CSF traversals visit leaf-factor rows in ascending
+    index order per fiber, so adjacent accesses share lines and trigger
+    hardware prefetch), and saturates at ``cap``.
+    """
+    require(llc_bytes > 0, "cache size must be positive")
+    if working_set_bytes <= llc_bytes:
+        return base
+    ratio = working_set_bytes / llc_bytes
+    return float(min(cap, base + locality * ratio))
+
+
+def streaming_traffic(pass_bytes: float, passes: float,
+                      llc_bytes: float) -> float:
+    """DRAM traffic of *passes* linear sweeps over *pass_bytes*.
+
+    A pass that fits in LLC is fetched once; larger passes pay full
+    traffic every time (no reuse survives the sweep).
+    """
+    require(passes >= 0, "passes must be non-negative")
+    if pass_bytes <= llc_bytes:
+        return float(pass_bytes)
+    return float(pass_bytes * passes)
+
+
+def blocked_traffic(block_bytes: float, n_blocks: float,
+                    iters_per_block: float, llc_bytes: float,
+                    threads_sharing: int = 1) -> float:
+    """DRAM traffic of per-block iterated sweeps.
+
+    Each block is fetched once if its working set fits in the cache share
+    of one thread; otherwise the overflow fraction is re-fetched every
+    iteration.  This is the mechanism by which 50-row blocks turn the
+    memory-bound baseline into compute-bound work.
+    """
+    require(threads_sharing >= 1, "threads_sharing must be positive")
+    share = llc_bytes / threads_sharing
+    if block_bytes <= share:
+        return float(block_bytes * n_blocks)
+    overflow = 1.0 - share / block_bytes
+    per_block = block_bytes * (1.0 + overflow * max(iters_per_block - 1, 0))
+    return float(per_block * n_blocks)

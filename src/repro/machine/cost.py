@@ -1,0 +1,112 @@
+"""Kernel cost descriptors and the roofline-with-scheduling time model.
+
+A :class:`KernelCost` is everything the simulator needs to time one kernel
+execution at any thread count:
+
+* total flops and a per-kernel compute efficiency (gather-heavy MTTKRP
+  sustains a far lower fraction of peak than MKL's TRSM),
+* total DRAM bytes (already cache-adjusted by the builders),
+* optional per-work-item flop counts plus the schedule that distributes
+  them (load imbalance comes out of replaying that schedule, exactly as
+  the real runtime would distribute the work),
+* barrier count and exposed serial latency.
+
+``kernel_time`` combines them:
+
+``time(T) = max(compute_makespan(T), dram_bytes / B(T) + latency/T)``
+``        + barriers * barrier_cost(T) + chunk overheads``
+
+— compute and memory overlap (out-of-order cores), synchronization does
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.schedule import (
+    DynamicSchedule,
+    GuidedSchedule,
+    StaticSchedule,
+    run_schedule,
+)
+from ..validation import require
+from .spec import MachineSpec
+
+Schedule = StaticSchedule | DynamicSchedule | GuidedSchedule
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Machine-independent cost descriptor of one kernel execution."""
+
+    #: Total floating-point operations.
+    flops: float
+    #: Total DRAM traffic in bytes (cache effects already applied).
+    dram_bytes: float
+    #: Sustained fraction of peak flops this kernel reaches on one core.
+    compute_efficiency: float = 0.5
+    #: Per-item flop counts for schedule replay (None = perfectly divisible).
+    item_flops: np.ndarray | None = None
+    #: How the items are distributed over threads.
+    schedule: Schedule = field(default_factory=DynamicSchedule)
+    #: Barriers executed during the kernel (baseline ADMM's fork-joins).
+    barriers: int = 0
+    #: Serial-dependency latency (seconds) exposed on the memory path,
+    #: divided across threads (CSR row chains in sparse MTTKRP).
+    latency_seconds: float = 0.0
+    #: Which bandwidth curve the traffic uses: read-dominated ("read",
+    #: MTTKRP) or read-modify-write streaming ("stream", baseline ADMM).
+    traffic_kind: str = "read"
+
+    def __post_init__(self) -> None:
+        require(self.flops >= 0 and self.dram_bytes >= 0,
+                "costs must be non-negative")
+        require(0.0 < self.compute_efficiency <= 1.0,
+                "efficiency must be in (0, 1]")
+
+    def combined(self, other: "KernelCost") -> "KernelCost":
+        """Aggregate two cost descriptors (schedules/items are dropped:
+        combined costs are used for totals, not makespan replay)."""
+        eff = ((self.flops * self.compute_efficiency
+                + other.flops * other.compute_efficiency)
+               / max(self.flops + other.flops, 1.0))
+        return KernelCost(
+            flops=self.flops + other.flops,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            compute_efficiency=max(eff, 1e-3),
+            barriers=self.barriers + other.barriers,
+            latency_seconds=self.latency_seconds + other.latency_seconds,
+            traffic_kind=self.traffic_kind,
+        )
+
+
+def kernel_time(cost: KernelCost, threads: int,
+                machine: MachineSpec) -> float:
+    """Simulated execution time of *cost* with *threads* threads."""
+    require(threads >= 1, "threads must be positive")
+    threads = min(threads, machine.cores)
+    rate = machine.flops(threads, cost.compute_efficiency)
+
+    sched_overhead = 0.0
+    if cost.item_flops is not None and threads > 1:
+        per_core = machine.peak_flops_per_core * cost.compute_efficiency
+        durations = cost.item_flops / per_core
+        outcome = run_schedule(
+            durations, threads, cost.schedule,
+            per_chunk_overhead=(
+                machine.dynamic_chunk_overhead
+                if not isinstance(cost.schedule, StaticSchedule) else 0.0))
+        compute_time = outcome.makespan
+    else:
+        compute_time = cost.flops / rate
+
+    memory_time = (
+        cost.dram_bytes / machine.bandwidth(threads, cost.traffic_kind)
+        + cost.latency_seconds
+        / (threads * max(machine.memory_parallelism, 1.0)))
+    time = max(compute_time, memory_time)
+    time += cost.barriers * machine.barrier_cost(threads)
+    return float(time + sched_overhead)

@@ -1,0 +1,95 @@
+"""Machine parameters.
+
+``PAPER_MACHINE`` models the paper's testbed: two ten-core Intel Xeon
+E5-2650v3 (Haswell, 2.3 GHz, 16 DP flops/cycle/core peak), 25 MB LLC per
+socket, ~68 GB/s DRAM bandwidth per socket.  The bandwidth curve is the
+usual saturating form — a single core sustains only a fraction of a
+socket's bandwidth, and the aggregate plateaus well below ``cores x
+single-core`` — which is precisely why the baseline's streaming ADMM stops
+scaling (Section IV-B's "memory bandwidth" limitation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..validation import require
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """An analytical shared-memory machine."""
+
+    #: Total cores (the paper machine has 2 x 10).
+    cores: int = 20
+    #: Peak double-precision flop rate of one core (flops/s).
+    peak_flops_per_core: float = 36.8e9
+    #: Read-dominated traffic (MTTKRP's streamed structure + gathers):
+    #: single-core and saturated aggregate bandwidth (bytes/s).  Read
+    #: streams scale close to linearly across the two sockets.
+    read_bandwidth_single: float = 9e9
+    read_bandwidth_peak: float = 105e9
+    #: Read-modify-write streaming traffic (baseline ADMM's repeated
+    #: passes over six tall matrices): write-allocate plus NUMA-remote
+    #: stores cap the aggregate far below the read peak.
+    stream_bandwidth_single: float = 11e9
+    stream_bandwidth_peak: float = 60e9
+    #: Total last-level cache (bytes); 2 x 25 MB for the paper machine.
+    llc_bytes: int = 2 * 25 * 2**20
+    #: Fixed + per-doubling cost of a barrier (seconds).
+    barrier_base: float = 2e-6
+    barrier_per_level: float = 1e-6
+    #: Scheduler handshake per dynamically claimed chunk (seconds).
+    dynamic_chunk_overhead: float = 5e-7
+    #: Exposed latency of one dependent CSR row fetch (seconds) — the
+    #: indptr -> indices/values chain of Section IV-C.
+    csr_row_latency: float = 60e-9
+    #: Outstanding misses one core overlaps (memory-level parallelism);
+    #: divides the exposed latency of independent row chains.
+    memory_parallelism: float = 8.0
+    #: Fraction of CSR latency the hybrid's software prefetch hides while
+    #: the dense prefix is being computed.
+    prefetch_hide: float = 0.85
+
+    def __post_init__(self) -> None:
+        require(self.cores >= 1, "machine needs at least one core")
+        require(self.read_bandwidth_peak >= self.read_bandwidth_single,
+                "read peak below single-core bandwidth")
+        require(self.stream_bandwidth_peak >= self.stream_bandwidth_single,
+                "stream peak below single-core bandwidth")
+
+    # ------------------------------------------------------------------
+    def bandwidth(self, threads: int, kind: str = "read") -> float:
+        """Sustained DRAM bandwidth with *threads* active (bytes/s).
+
+        ``B(T) = min(T * single, peak)`` — linear until the memory
+        controllers saturate.  ``kind`` selects the read-dominated or
+        read-modify-write-streaming curve.
+        """
+        threads = min(max(int(threads), 1), self.cores)
+        if kind == "read":
+            single, peak = (self.read_bandwidth_single,
+                            self.read_bandwidth_peak)
+        elif kind == "stream":
+            single, peak = (self.stream_bandwidth_single,
+                            self.stream_bandwidth_peak)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown traffic kind {kind!r}")
+        return min(threads * single, peak)
+
+    def flops(self, threads: int, efficiency: float = 1.0) -> float:
+        """Aggregate sustained flop rate for a kernel of given efficiency."""
+        threads = min(max(int(threads), 1), self.cores)
+        return self.peak_flops_per_core * efficiency * threads
+
+    def barrier_cost(self, threads: int) -> float:
+        """Cost of one barrier among *threads* (tree reduction model)."""
+        threads = min(max(int(threads), 1), self.cores)
+        if threads == 1:
+            return 0.0
+        return self.barrier_base + self.barrier_per_level * math.log2(threads)
+
+
+#: The paper's evaluation machine (Section V-A).
+PAPER_MACHINE = MachineSpec()

@@ -1,0 +1,95 @@
+"""Scalability studies on the simulated machine (Figures 4 and 5).
+
+``factorization_time`` times one outer AO-ADMM iteration — the kernel
+sequence the real driver executes — at a given thread count;
+``speedup_curve`` sweeps the paper's thread counts and normalizes by the
+single-thread time.  Speedup is scale-free in the number of outer
+iterations (every iteration runs the same kernels), so one iteration
+suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import require
+from .cost import kernel_time
+from .spec import MachineSpec, PAPER_MACHINE
+from .workload import FactorizationWorkload
+
+#: The thread counts of paper Figures 4-5.
+THREAD_SWEEP = (1, 2, 4, 8, 10, 20)
+
+
+@dataclass(frozen=True)
+class SimulatedIteration:
+    """Per-kernel seconds of one simulated outer iteration."""
+
+    mttkrp_seconds: float
+    admm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mttkrp_seconds + self.admm_seconds
+
+    def fractions(self) -> dict[str, float]:
+        """Figure-3-style kernel time fractions."""
+        total = self.total_seconds
+        if total <= 0:
+            return {"mttkrp": 0.0, "admm": 0.0}
+        return {"mttkrp": self.mttkrp_seconds / total,
+                "admm": self.admm_seconds / total}
+
+
+def factorization_time(workload: FactorizationWorkload, threads: int,
+                       machine: MachineSpec = PAPER_MACHINE,
+                       blocked: bool = False,
+                       leaf_rep: str = "dense",
+                       leaf_density: float = 1.0,
+                       dense_col_frac: float = 0.05,
+                       dense_col_share: float = 0.6) -> SimulatedIteration:
+    """Simulate one outer iteration of AO-ADMM on *workload*.
+
+    Parameters
+    ----------
+    blocked:
+        Whether the inner solves use the blockwise reformulation.
+    leaf_rep, leaf_density, dense_col_frac, dense_col_share:
+        Deep-factor representation during MTTKRP (Table II's knobs).
+    """
+    require(threads >= 1, "threads must be positive")
+    mttkrp = 0.0
+    admm = 0.0
+    for mode in workload.modes:
+        mttkrp += kernel_time(
+            mode.mttkrp_cost(workload.rank, machine, leaf_rep=leaf_rep,
+                             leaf_density=leaf_density,
+                             dense_col_frac=dense_col_frac,
+                             dense_col_share=dense_col_share),
+            threads, machine)
+        admm += kernel_time(
+            mode.admm_cost(workload.rank, machine, blocked=blocked),
+            threads, machine)
+    return SimulatedIteration(mttkrp_seconds=mttkrp, admm_seconds=admm)
+
+
+def speedup_curve(workload: FactorizationWorkload,
+                  machine: MachineSpec = PAPER_MACHINE,
+                  blocked: bool = False,
+                  threads: tuple[int, ...] = THREAD_SWEEP,
+                  **kernel_kwargs) -> dict[int, float]:
+    """Speedup over single-thread execution at each thread count.
+
+    This regenerates one line of Figure 4 (``blocked=False``) or
+    Figure 5 (``blocked=True``).
+    """
+    base = factorization_time(workload, 1, machine, blocked=blocked,
+                              **kernel_kwargs).total_seconds
+    out: dict[int, float] = {}
+    for t in threads:
+        current = factorization_time(workload, t, machine, blocked=blocked,
+                                     **kernel_kwargs).total_seconds
+        out[t] = base / current if current > 0 else float("inf")
+    return out

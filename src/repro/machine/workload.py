@@ -1,0 +1,249 @@
+"""Full-scale workload descriptors for the machine simulator.
+
+A :class:`FactorizationWorkload` captures, per mode, the schedulable work
+of one outer AO-ADMM iteration at **paper scale** — per-slice MTTKRP items
+and per-block ADMM items — without materializing any billion-non-zero
+tensor.  Slice masses come from the dataset spec's Zipf marginals
+(compressed head + banded tail, mass-exact); fiber counts from the
+balls-in-bins estimate; ADMM iteration profiles either from a *measured*
+scaled run or from a skew-derived default.
+
+The simulator then times the identical kernel sequence the real driver
+executes: for every mode, MTTKRP followed by the inner solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DEFAULT_BLOCK_SIZE, MAX_ADMM_ITERATIONS
+from ..datasets.powerlaw import (
+    compressed_zipf_counts,
+    distinct_values_estimate,
+    zipf_weights,
+)
+from ..datasets.registry import DatasetSpec, get_spec
+from ..validation import require
+from .cost import KernelCost
+from .kernels import admm_baseline_cost, admm_blocked_cost, mttkrp_kernel_cost
+from .spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class ModeWorkload:
+    """One mode's per-outer-iteration work at full scale."""
+
+    #: Rows of this mode's factor (the ADMM problem size).
+    rows: int
+    #: Extents of the deep and middle factors of this mode's CSF tree.
+    leaf_rows: int
+    mid_rows: int
+    #: Per-slice non-zero / fiber counts (compressed: replay-ready items).
+    slice_nnz: np.ndarray
+    slice_fibers: np.ndarray
+    #: Baseline ADMM inner iterations per outer iteration.
+    inner_iters: float
+    #: Blocked ADMM: per-block row counts and iteration counts.
+    block_rows: np.ndarray
+    block_iters: np.ndarray
+
+    @property
+    def nnz(self) -> float:
+        """Total non-zeros seen by this mode's MTTKRP."""
+        return float(self.slice_nnz.sum())
+
+    def mttkrp_cost(self, rank: int, machine: MachineSpec,
+                    leaf_rep: str = "dense", leaf_density: float = 1.0,
+                    dense_col_frac: float = 0.05,
+                    dense_col_share: float = 0.6) -> KernelCost:
+        """MTTKRP cost for this mode (one call per outer iteration)."""
+        return mttkrp_kernel_cost(
+            self.slice_nnz, self.slice_fibers, rank,
+            self.leaf_rows, self.mid_rows, machine,
+            leaf_rep=leaf_rep, leaf_density=leaf_density,
+            dense_col_frac=dense_col_frac,
+            dense_col_share=dense_col_share)
+
+    def admm_cost(self, rank: int, machine: MachineSpec,
+                  blocked: bool) -> KernelCost:
+        """Inner-solve cost for this mode (one call per outer iteration)."""
+        if blocked:
+            return admm_blocked_cost(self.block_rows, self.block_iters,
+                                     rank, machine)
+        return admm_baseline_cost(self.rows, rank, self.inner_iters, machine)
+
+
+@dataclass(frozen=True)
+class FactorizationWorkload:
+    """All modes of one outer iteration plus identification."""
+
+    name: str
+    rank: int
+    modes: tuple[ModeWorkload, ...]
+
+    @classmethod
+    def from_spec(cls, spec: DatasetSpec | str, rank: int,
+                  inner_iters: "float | list[float]" = 8.0,
+                  block_size: int = DEFAULT_BLOCK_SIZE,
+                  block_iter_profile: "list[np.ndarray] | None" = None,
+                  max_items: int = 32768) -> "FactorizationWorkload":
+        """Build a full-scale workload from a dataset spec.
+
+        Parameters
+        ----------
+        inner_iters:
+            Baseline inner-iteration count per outer iteration — a scalar
+            or one value per mode; measure it on a scaled run for
+            fidelity.
+        block_iter_profile:
+            Optional per-mode arrays of *measured* block iteration counts
+            (from a scaled run's block reports); resampled to the
+            full-scale block count.  Default derives block iterations from
+            the mode's row skew (high-signal blocks iterate longer —
+            Section IV-B).
+        max_items:
+            Compression budget for per-slice descriptors.
+        """
+        spec = get_spec(spec) if isinstance(spec, str) else spec
+        nmodes = len(spec.full_shape)
+        if isinstance(inner_iters, (int, float)):
+            inner_list = [float(inner_iters)] * nmodes
+        else:
+            inner_list = [float(v) for v in inner_iters]
+            require(len(inner_list) == nmodes,
+                    "one inner-iteration count per mode required")
+
+        modes = []
+        for m in range(nmodes):
+            others = [o for o in range(nmodes) if o != m]
+            mid_mode, leaf_mode = others[0], others[-1]
+            rows = spec.full_shape[m]
+            counts, mult = compressed_zipf_counts(
+                rows, spec.full_nnz, spec.zipf_exponents[m], max_items)
+            fiber_universe = float(spec.full_shape[mid_mode])
+            fibers = distinct_values_estimate(counts, fiber_universe)
+            # Replay-ready items: the head stays one-item-per-slice; each
+            # tail band (mass = counts * mult) is split into pieces no
+            # larger than the largest head slice so band aggregation never
+            # fabricates indivisible mega-items.
+            slice_nnz, slice_fibers = _itemize_bands(counts, fibers, mult)
+
+            block_rows_arr, block_iters_arr = _block_profile(
+                rows, spec.full_nnz, spec.zipf_exponents[m], block_size,
+                measured=(block_iter_profile[m]
+                          if block_iter_profile is not None else None),
+                inner_cap=MAX_ADMM_ITERATIONS)
+
+            modes.append(ModeWorkload(
+                rows=rows,
+                leaf_rows=spec.full_shape[leaf_mode],
+                mid_rows=spec.full_shape[mid_mode],
+                slice_nnz=slice_nnz,
+                slice_fibers=slice_fibers,
+                inner_iters=inner_list[m],
+                block_rows=block_rows_arr,
+                block_iters=block_iters_arr,
+            ))
+        return cls(name=spec.name, rank=rank, modes=tuple(modes))
+
+
+def measured_profile(result) -> tuple[list[float], list[np.ndarray] | None]:
+    """Extract per-mode iteration profiles from a real factorization run.
+
+    Returns ``(inner_iters, block_iter_profile)`` ready for
+    :meth:`FactorizationWorkload.from_spec` — the bridge between the real
+    scaled runs and the full-scale machine simulation.  ``result`` is a
+    :class:`repro.core.aoadmm.FactorizationResult`; block profiles require
+    the run to have used ``track_block_reports=True`` (otherwise ``None``).
+    """
+    records = result.trace.records
+    require(len(records) > 0, "result has no iterations to profile")
+    nmodes = len(records[0].inner_iterations)
+    inner = [float(np.mean([r.inner_iterations[m] for r in records]))
+             for m in range(nmodes)]
+
+    block_profile: list[np.ndarray] | None = None
+    if records[0].block_reports is not None:
+        block_profile = []
+        for m in range(nmodes):
+            iters = np.concatenate([
+                np.asarray(r.block_reports[m].block_iterations, dtype=float)
+                for r in records])
+            block_profile.append(iters)
+    return inner, block_profile
+
+
+def _itemize_bands(counts: np.ndarray, fibers: np.ndarray,
+                   mult: np.ndarray,
+                   pieces_per_band: int = 64
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Expand compressed (count, multiplicity) bands into schedulable items.
+
+    Head entries (multiplicity 1) pass through unchanged.  Each tail band
+    is emitted as up to *pieces_per_band* equal items carrying the band's
+    total mass — small enough to schedule divisibly, few enough to stay
+    cheap.  Mass totals are preserved exactly.
+    """
+    head = mult == 1
+    nnz_items = [counts[head]]
+    fib_items = [fibers[head]]
+    tail_idx = np.flatnonzero(~head)
+    for i in tail_idx:
+        pieces = int(min(mult[i], pieces_per_band))
+        nnz_items.append(np.full(pieces, counts[i] * mult[i] / pieces))
+        fib_items.append(np.full(pieces, fibers[i] * mult[i] / pieces))
+    return np.concatenate(nnz_items), np.concatenate(fib_items)
+
+
+def _block_profile(rows: int, total_nnz: float, exponent: float,
+                   block_size: int, measured: np.ndarray | None,
+                   inner_cap: int,
+                   max_blocks: int = 32768) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block (rows, iterations) descriptors for blocked ADMM.
+
+    Without a measured profile, block iteration counts are derived from
+    the Zipf row masses: a block's iteration count grows logarithmically
+    with its rows' average non-zero mass relative to the mean — the
+    high-signal-rows effect.  Blocks are formed over rank-ordered rows and
+    then compressed to at most *max_blocks* items (masses preserved).
+    """
+    require(block_size >= 1, "block size must be positive")
+    n_blocks = -(-rows // block_size)
+    sizes = np.full(n_blocks, block_size, dtype=np.float64)
+    if rows % block_size:
+        sizes[-1] = rows % block_size
+
+    if measured is not None and len(measured) > 0:
+        measured = np.asarray(measured, dtype=np.float64)
+        # Resample the measured block-iteration distribution (quantile
+        # matching over block rank preserves its skew).
+        q = (np.arange(n_blocks) + 0.5) / n_blocks
+        iters = np.quantile(np.sort(measured)[::-1], 1 - q)
+    else:
+        budget = max(2, min(2 * n_blocks, 2 * max_blocks))
+        counts, mult = compressed_zipf_counts(
+            rows, total_nnz, exponent, max_items=budget)
+        # Rank-quantile interpolation: each compressed item sits at the
+        # centre of the rank range it represents.
+        positions = (np.cumsum(mult) - mult / 2.0) / rows
+        centers = (np.arange(n_blocks) + 0.5) / n_blocks
+        per_row = np.interp(centers, positions, counts)
+        mean = per_row.mean() if per_row.size else 1.0
+        rel = per_row / max(mean, 1e-12)
+        iters = np.clip(np.round(3.0 + 4.0 * np.log1p(rel)), 1, inner_cap)
+
+    if n_blocks > max_blocks:
+        # Band-compress: group blocks into max_blocks bands; each band item
+        # represents its blocks' total rows at the band's mean iterations.
+        bounds = np.linspace(0, n_blocks, max_blocks + 1).astype(np.int64)
+        widths = np.diff(bounds)
+        keep = widths > 0
+        cum_rows = np.r_[0.0, np.cumsum(sizes)]
+        band_rows = (cum_rows[bounds[1:]] - cum_rows[bounds[:-1]])[keep]
+        cum_iters = np.r_[0.0, np.cumsum(iters * sizes)]
+        band_mass = (cum_iters[bounds[1:]] - cum_iters[bounds[:-1]])[keep]
+        band_iters = band_mass / np.maximum(band_rows, 1e-12)
+        return band_rows, band_iters
+    return sizes, np.asarray(iters, dtype=np.float64)

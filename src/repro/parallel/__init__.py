@@ -1,0 +1,29 @@
+"""Shared-memory parallel runtime (the OpenMP role in the paper's stack).
+
+Pure scheduling logic lives in :mod:`repro.parallel.schedule` — it is used
+both by the real thread pool and by the simulated machine, so the machine
+model schedules exactly the work distribution the real runtime would.
+"""
+
+from .partition import row_blocks, balanced_chunks, block_of_row
+from .schedule import (
+    StaticSchedule,
+    DynamicSchedule,
+    GuidedSchedule,
+    ScheduleOutcome,
+    run_schedule,
+)
+from .threadpool import parallel_for, effective_threads
+
+__all__ = [
+    "row_blocks",
+    "balanced_chunks",
+    "block_of_row",
+    "StaticSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "ScheduleOutcome",
+    "run_schedule",
+    "parallel_for",
+    "effective_threads",
+]

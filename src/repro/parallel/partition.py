@@ -1,0 +1,54 @@
+"""Work partitioning: row blocks and weight-balanced contiguous chunks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import require
+
+
+def row_blocks(n_rows: int, block_size: int) -> list[slice]:
+    """Split ``range(n_rows)`` into contiguous blocks of *block_size* rows.
+
+    The final block may be short.  ``block_size <= 0`` or
+    ``block_size >= n_rows`` yields a single block (the unblocked limit).
+    """
+    require(n_rows >= 0, "n_rows must be non-negative")
+    if n_rows == 0:
+        return []
+    if block_size <= 0 or block_size >= n_rows:
+        return [slice(0, n_rows)]
+    return [slice(start, min(start + block_size, n_rows))
+            for start in range(0, n_rows, block_size)]
+
+
+def block_of_row(row: int, block_size: int) -> int:
+    """Index of the block containing *row* (for diagnostics)."""
+    require(row >= 0 and block_size > 0, "invalid row/block size")
+    return row // block_size
+
+
+def balanced_chunks(weights: np.ndarray, n_chunks: int) -> list[slice]:
+    """Split a weight vector into contiguous chunks of near-equal mass.
+
+    Greedy prefix splitting at multiples of ``total / n_chunks`` — the
+    static decomposition used for MTTKRP slices when non-zero counts are
+    skewed.  Returns at most *n_chunks* non-empty slices.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    require(n_chunks >= 1, "need at least one chunk")
+    n = weights.shape[0]
+    if n == 0:
+        return []
+    if n_chunks == 1:
+        return [slice(0, n)]
+    prefix = np.cumsum(weights)
+    total = prefix[-1]
+    if total <= 0:
+        return row_blocks(n, -(-n // n_chunks))
+    targets = total * np.arange(1, n_chunks, dtype=np.float64) / n_chunks
+    cuts = np.searchsorted(prefix, targets, side="left") + 1
+    bounds = np.unique(np.r_[0, cuts, n])
+    return [slice(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(bounds) - 1)
+            if bounds[i + 1] > bounds[i]]

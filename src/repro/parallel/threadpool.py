@@ -1,0 +1,48 @@
+"""A minimal thread-pool ``parallel_for``.
+
+NumPy releases the GIL inside its kernels, so independent row-block work
+(blocked ADMM) genuinely overlaps on multicore hosts.  On this project's
+reference container (1 core) the pool still exercises the same code paths;
+the scalability *measurements* come from the machine model instead
+(:mod:`repro.machine`), which replays the identical work decomposition.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_ENV_VAR = "REPRO_NUM_THREADS"
+
+
+def effective_threads(requested: int | None = None) -> int:
+    """Resolve a thread count: argument, env var, then CPU count."""
+    if requested is not None and requested > 0:
+        return int(requested)
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def parallel_for(func: Callable[[T], R], items: Sequence[T],
+                 threads: int | None = None) -> list[R]:
+    """Apply *func* to every item, possibly across a thread pool.
+
+    Results are returned in input order.  With one thread (or one item)
+    the loop runs inline — no executor overhead, identical semantics.
+    """
+    threads = effective_threads(threads)
+    if threads == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(func, items))

@@ -1,0 +1,78 @@
+"""Density analysis and the sparsify/representation decision.
+
+The paper's empirical rule (Section V-E): a factor is *gainfully treated as
+sparse* when its density falls below 20%.  Columns are called "dense" when
+they hold more non-zeros than the average column (Section IV-C); the hybrid
+structure places those first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SPARSITY_THRESHOLD
+from ..validation import require
+
+
+def density(matrix: np.ndarray, tol: float = 0.0) -> float:
+    """Fraction of entries with ``|value| > tol``."""
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        return 0.0
+    return float(np.count_nonzero(np.abs(matrix) > tol)) / matrix.size
+
+
+def column_densities(matrix: np.ndarray, tol: float = 0.0) -> np.ndarray:
+    """Per-column density (fraction of non-zero rows)."""
+    matrix = np.asarray(matrix)
+    if matrix.shape[0] == 0:
+        return np.zeros(matrix.shape[1])
+    return np.count_nonzero(
+        np.abs(matrix) > tol, axis=0) / float(matrix.shape[0])
+
+
+def dense_column_mask(matrix: np.ndarray, tol: float = 0.0) -> np.ndarray:
+    """Columns holding more non-zeros than the average column.
+
+    This is the paper's definition of a "dense" column for the hybrid
+    structure.  Returns a boolean mask over columns.
+    """
+    cols = column_densities(matrix, tol)
+    if cols.size == 0:
+        return np.zeros(0, dtype=bool)
+    return cols > cols.mean()
+
+
+def should_sparsify(matrix: np.ndarray, tol: float = 0.0,
+                    threshold: float = SPARSITY_THRESHOLD) -> bool:
+    """Paper's 20% rule: sparsify when density drops below *threshold*."""
+    require(0.0 < threshold <= 1.0, "threshold must be in (0, 1]")
+    return density(matrix, tol) < threshold
+
+
+def choose_representation(matrix: np.ndarray, tol: float = 0.0,
+                          threshold: float = SPARSITY_THRESHOLD,
+                          allow_hybrid: bool = True) -> str:
+    """Pick ``"dense"``, ``"csr"``, or ``"hybrid"`` for a factor.
+
+    Heuristic consistent with the paper's discussion: below the density
+    threshold prefer a sparse structure; use the hybrid when the column
+    non-zero distribution is skewed enough that a dense prefix captures a
+    large share of the non-zeros (otherwise the prefix buys nothing and
+    plain CSR has less overhead).
+    """
+    if not should_sparsify(matrix, tol, threshold):
+        return "dense"
+    if not allow_hybrid:
+        return "csr"
+    cols = column_densities(matrix, tol)
+    if cols.size == 0 or cols.sum() == 0.0:
+        return "csr"
+    mask = cols > cols.mean()
+    dense_share = cols[mask].sum() / cols.sum() if mask.any() else 0.0
+    dense_frac = mask.mean()
+    # A small set of columns holding a large share of the mass is the
+    # profile the hybrid was designed for.
+    if dense_share >= 0.5 and dense_frac <= 0.5:
+        return "hybrid"
+    return "csr"

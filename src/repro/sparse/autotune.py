@@ -1,0 +1,132 @@
+"""Cost-model-driven factor-representation selection (paper future work).
+
+Section VI: "further investigation is required in order to automatically
+select the best data structure for the sparse matrix factors during
+MTTKRP."  The heuristic in :mod:`repro.sparse.analysis` uses density and
+column-skew rules; this module instead *prices* each representation with
+the machine cost model — gather traffic, CSR row-chain latency, the
+hybrid's prefix overhead and prefetch hiding, and the per-outer-iteration
+construction cost — and picks the cheapest.
+
+The chooser works from measurable factor statistics only, so the engine
+can call it every outer iteration without touching the tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.cache import miss_rate
+from ..machine.spec import MachineSpec, PAPER_MACHINE
+from ..validation import require
+from .analysis import column_densities, dense_column_mask
+
+_BYTES = 8
+_IDX_BYTES = 8
+
+
+@dataclass(frozen=True)
+class FactorProfile:
+    """Everything the pricing needs to know about a factor."""
+
+    rows: int
+    rank: int
+    #: Stored density (nnz / rows / rank).
+    density: float
+    #: Fraction of columns a dense prefix would keep (above-mean rule).
+    dense_col_frac: float
+    #: Fraction of the stored non-zeros those columns hold.
+    dense_col_share: float
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray,
+                    tol: float = 0.0) -> "FactorProfile":
+        matrix = np.asarray(matrix)
+        require(matrix.ndim == 2, "factor matrix required")
+        cols = column_densities(matrix, tol)
+        mask = dense_column_mask(matrix, tol)
+        total = cols.sum()
+        share = float(cols[mask].sum() / total) if total > 0 else 0.0
+        return cls(rows=matrix.shape[0], rank=matrix.shape[1],
+                   density=float(cols.mean()) if cols.size else 0.0,
+                   dense_col_frac=float(mask.mean()) if mask.size else 0.0,
+                   dense_col_share=share)
+
+
+@dataclass(frozen=True)
+class RepresentationCosts:
+    """Modelled per-MTTKRP seconds of each representation + the choice."""
+
+    dense_seconds: float
+    csr_seconds: float
+    hybrid_seconds: float
+    #: Construction cost charged to the sparse representations.
+    build_seconds: float
+    best: str
+
+    def as_dict(self) -> dict[str, float]:
+        return {"dense": self.dense_seconds, "csr": self.csr_seconds,
+                "csr-h": self.hybrid_seconds}
+
+
+def price_representations(profile: FactorProfile, accesses: float,
+                          machine: MachineSpec = PAPER_MACHINE,
+                          threads: int | None = None,
+                          admm_iterations: float = 10.0
+                          ) -> RepresentationCosts:
+    """Price dense / CSR / CSR-H for a factor read *accesses* times.
+
+    ``accesses`` is the number of row gathers per MTTKRP — the tensor's
+    non-zero count for the deep factor.  Construction (the ``O(rows *
+    rank)`` compression pass of Section IV-C) is amortized over nothing:
+    it recurs every outer iteration because the sparsity is dynamic, so
+    it is charged in full to the sparse representations.
+    """
+    require(accesses >= 0, "accesses must be non-negative")
+    threads = threads or machine.cores
+    bw = machine.bandwidth(threads, "read")
+
+    row_bytes = profile.rank * _BYTES
+    ws_dense = profile.rows * row_bytes
+    dense_secs = (accesses * row_bytes
+                  * miss_rate(ws_dense, machine.llc_bytes)) / bw
+
+    stored_row = profile.density * profile.rank * (_BYTES + _IDX_BYTES)
+    ws_csr = profile.rows * (stored_row + _IDX_BYTES)
+    csr_secs = (accesses * stored_row
+                * miss_rate(ws_csr, machine.llc_bytes)) / bw
+    latency = (accesses * machine.csr_row_latency
+               / (threads * machine.memory_parallelism))
+    csr_secs += latency
+
+    prefix = profile.dense_col_frac * profile.rank * _BYTES
+    tail = ((1.0 - profile.dense_col_share) * profile.density
+            * profile.rank * (_BYTES + _IDX_BYTES))
+    ws_h = profile.rows * (prefix + tail + _IDX_BYTES)
+    hybrid_secs = (accesses * (prefix + tail)
+                   * miss_rate(ws_h, machine.llc_bytes)) / bw
+    hybrid_secs += latency * (1.0 - machine.prefetch_hide)
+
+    # Construction: one streaming pass over the dense factor.
+    build = (profile.rows * row_bytes * 2) / bw
+    csr_secs += build
+    hybrid_secs += build
+
+    costs = {"dense": dense_secs, "csr": csr_secs, "csr-h": hybrid_secs}
+    best = min(costs, key=costs.get)  # type: ignore[arg-type]
+    return RepresentationCosts(dense_seconds=dense_secs,
+                               csr_seconds=csr_secs,
+                               hybrid_seconds=hybrid_secs,
+                               build_seconds=build, best=best)
+
+
+def autotune_representation(matrix: np.ndarray, accesses: float,
+                            machine: MachineSpec = PAPER_MACHINE,
+                            tol: float = 0.0,
+                            threads: int | None = None) -> str:
+    """Pick ``"dense"``, ``"csr"``, or ``"csr-h"`` for *matrix* by price."""
+    profile = FactorProfile.from_matrix(matrix, tol)
+    return price_representations(profile, accesses, machine,
+                                 threads=threads).best

@@ -1,0 +1,166 @@
+"""A purpose-built CSR matrix for sparse factor matrices.
+
+Why not ``scipy.sparse.csr_matrix``?  The MTTKRP kernels need exactly one
+operation — *gather rows by a (large, repeated) index vector and scale each
+gathered row* — plus cheap construction from a dense matrix every time the
+factor is re-sparsified (the sparsity pattern is dynamic, Section IV-C).
+Owning the three arrays keeps those operations allocation-lean and lets the
+machine model count the structure's exact memory traffic (indptr + indices
++ values), which is what distinguishes CSR from CSR-H in the paper.
+
+The class interoperates with SciPy via :meth:`to_scipy` /
+:meth:`from_scipy` for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..validation import require
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix (float64 values, int64 indices)."""
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 data: np.ndarray, shape: tuple[int, int]):
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        self.shape = (int(shape[0]), int(shape[1]))
+        require(self.indptr.shape == (self.shape[0] + 1,),
+                "indptr length must be nrows + 1")
+        require(self.indices.shape == self.data.shape,
+                "indices and data must align")
+        require(int(self.indptr[-1]) == self.indices.shape[0],
+                "indptr[-1] must equal nnz")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored non-zero count."""
+        return self.data.shape[0]
+
+    @property
+    def density(self) -> float:
+        """nnz / (rows * cols)."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        """Non-zeros per row."""
+        return np.diff(self.indptr)
+
+    def storage_bytes(self) -> int:
+        """Bytes of the three CSR arrays (for the machine cost model)."""
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"density={self.density:.3f})")
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CSRMatrix":
+        """Compress a dense matrix, dropping ``|value| <= tol``.
+
+        This is the ``O(K F)`` conversion of Section IV-C whose cost must be
+        amortized by the sparse kernels' savings.
+        """
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        require(dense.ndim == 2, "dense matrix required")
+        mask = np.abs(dense) > tol
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(indptr, cols.astype(INDEX_DTYPE), dense[rows, cols],
+                   dense.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense matrix."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix) -> "CSRMatrix":
+        """Adopt a SciPy sparse matrix."""
+        csr = mat.tocsr()
+        return cls(csr.indptr, csr.indices, csr.data, csr.shape)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """View as ``scipy.sparse.csr_matrix`` (shares arrays)."""
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape)
+
+    # ------------------------------------------------------------------
+    # The kernel primitive
+    # ------------------------------------------------------------------
+    def gather_scale_rows(self, row_index: np.ndarray,
+                          scale: np.ndarray) -> np.ndarray:
+        """Dense ``out[p, :] = scale[p] * self[row_index[p], :]``.
+
+        This is the leaf-level access of sparse-factor MTTKRP (the modified
+        line 9 of paper Algorithm 3): each tensor non-zero ``p`` pulls one
+        row of the sparse factor and scales it by the tensor value.  Work
+        and traffic scale with the *gathered* non-zero count, not with
+        ``len(row_index) * F``.
+
+        Returns a dense ``(len(row_index), F)`` array — the accumulation
+        buffers above the leaf level are dense regardless (sums of sparse
+        rows fill in quickly).
+        """
+        row_index = np.asarray(row_index, dtype=INDEX_DTYPE)
+        scale = np.asarray(scale, dtype=VALUE_DTYPE)
+        require(row_index.shape == scale.shape,
+                "row_index and scale must align")
+        starts = self.indptr[row_index]
+        counts = self.indptr[row_index + 1] - starts
+        total = int(counts.sum())
+        out = np.zeros((row_index.shape[0], self.shape[1]),
+                       dtype=VALUE_DTYPE)
+        if total == 0:
+            return out
+        # Flat gather positions: for each output row p, the slice
+        # [starts[p], starts[p] + counts[p]) of indices/data.
+        flat = _expand_ranges(starts, counts)
+        out_rows = np.repeat(
+            np.arange(row_index.shape[0], dtype=INDEX_DTYPE), counts)
+        out[out_rows, self.indices[flat]] = self.data[flat]
+        out *= scale[:, None]
+        return out
+
+    def gathered_nnz(self, row_index: np.ndarray) -> int:
+        """Non-zeros that :meth:`gather_scale_rows` would touch."""
+        row_index = np.asarray(row_index, dtype=INDEX_DTYPE)
+        return int(
+            (self.indptr[row_index + 1] - self.indptr[row_index]).sum())
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    # Classic trick: cumulative offsets with per-range resets.
+    out = np.ones(total, dtype=INDEX_DTYPE)
+    ends = np.cumsum(counts)
+    out[0] = starts[0] if counts[0] > 0 else 0
+    # Positions where a new range begins (skip empty ranges).
+    nonempty = counts > 0
+    first_pos = (ends - counts)[nonempty]
+    jumps = starts[nonempty]
+    out[first_pos] = jumps
+    prev_ends = np.zeros_like(jumps)
+    prev_ends[1:] = starts[nonempty][:-1] + counts[nonempty][:-1] - 1
+    out[first_pos[1:]] = jumps[1:] - prev_ends[1:]
+    np.cumsum(out, out=out)
+    return out

@@ -1,0 +1,102 @@
+"""The hybrid dense-columns + CSR-columns factor (paper's CSR-H).
+
+Construction (Section IV-C): sort columns by non-zero count, call a column
+"dense" when it exceeds the average column density, store the dense columns
+as a plain matrix and the rest in CSR.  During MTTKRP the dense prefix is
+computed while (on the paper's hardware) the CSR tail streams in via
+software prefetch; here the prefetch overlap is represented in the machine
+cost model, while the arithmetic split is exact.
+
+Column order is permuted internally; :meth:`gather_scale_rows` returns rows
+in the *original* column order, so kernels never see the permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..validation import require
+from .analysis import dense_column_mask
+from .csr import CSRMatrix
+
+
+class HybridFactor:
+    """Dense-prefix + CSR-tail representation of a factor matrix."""
+
+    __slots__ = ("shape", "perm", "inv_perm", "dense_part", "csr_part",
+                 "n_dense_cols")
+
+    def __init__(self, dense: np.ndarray, tol: float = 0.0):
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        require(dense.ndim == 2, "dense matrix required")
+        self.shape = dense.shape
+
+        mask = dense_column_mask(dense, tol)
+        order = np.argsort(~mask, kind="stable")  # dense columns first
+        self.perm = order.astype(INDEX_DTYPE)
+        self.inv_perm = np.empty_like(self.perm)
+        self.inv_perm[self.perm] = np.arange(
+            self.perm.shape[0], dtype=INDEX_DTYPE)
+        self.n_dense_cols = int(mask.sum())
+
+        permuted = dense[:, self.perm]
+        self.dense_part = np.ascontiguousarray(
+            permuted[:, :self.n_dense_cols])
+        self.csr_part = CSRMatrix.from_dense(
+            permuted[:, self.n_dense_cols:], tol=tol)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Dense-prefix cells plus CSR-tail stored non-zeros."""
+        return self.dense_part.size + self.csr_part.nnz
+
+    @property
+    def density(self) -> float:
+        """Effective stored density of the hybrid."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def storage_bytes(self) -> int:
+        """Bytes of the dense block, the CSR arrays, and the permutation."""
+        return (self.dense_part.nbytes + self.csr_part.storage_bytes()
+                + self.perm.nbytes)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the factor in its original column order."""
+        permuted = np.concatenate(
+            [self.dense_part, self.csr_part.to_dense()], axis=1)
+        return permuted[:, self.inv_perm]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HybridFactor(shape={self.shape}, "
+                f"dense_cols={self.n_dense_cols}, "
+                f"csr_nnz={self.csr_part.nnz})")
+
+    # ------------------------------------------------------------------
+    def gather_scale_rows(self, row_index: np.ndarray,
+                          scale: np.ndarray) -> np.ndarray:
+        """``out[p, :] = scale[p] * self[row_index[p], :]`` (original order).
+
+        The dense prefix is a contiguous fancy-index gather; the tail goes
+        through :meth:`CSRMatrix.gather_scale_rows`.
+        """
+        row_index = np.asarray(row_index, dtype=INDEX_DTYPE)
+        scale = np.asarray(scale, dtype=VALUE_DTYPE)
+        n = row_index.shape[0]
+        out = np.empty((n, self.shape[1]), dtype=VALUE_DTYPE)
+        permuted = out[:, :]  # filled in permuted order, unpermuted below
+        if self.n_dense_cols:
+            permuted[:, :self.n_dense_cols] = (
+                self.dense_part[row_index] * scale[:, None])
+        if self.csr_part.shape[1]:
+            permuted[:, self.n_dense_cols:] = (
+                self.csr_part.gather_scale_rows(row_index, scale))
+        return permuted[:, self.inv_perm]
+
+    def gathered_nnz(self, row_index: np.ndarray) -> int:
+        """Stored entries a gather touches (dense prefix counts fully)."""
+        row_index = np.asarray(row_index, dtype=INDEX_DTYPE)
+        return (row_index.shape[0] * self.n_dense_cols
+                + self.csr_part.gathered_nnz(row_index))

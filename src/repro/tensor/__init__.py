@@ -1,0 +1,34 @@
+"""Sparse tensor substrate: COO and CSF storage, I/O, and generators.
+
+This subpackage is the Python re-implementation of the storage layer the
+paper builds on (SPLATT's coordinate and compressed-sparse-fiber formats).
+"""
+
+from .coo import COOTensor
+from .csf import CSFTensor
+from .dense import dense_from_factors, khatri_rao_reconstruct
+from .matricize import matricize_coo, linearize_indices, delinearize_indices
+from .random import (
+    random_coo,
+    lowrank_coo,
+    noisy_lowrank_coo,
+)
+from .io import read_tns, write_tns
+from .stats import TensorStats, compute_stats
+
+__all__ = [
+    "COOTensor",
+    "CSFTensor",
+    "dense_from_factors",
+    "khatri_rao_reconstruct",
+    "matricize_coo",
+    "linearize_indices",
+    "delinearize_indices",
+    "random_coo",
+    "lowrank_coo",
+    "noisy_lowrank_coo",
+    "read_tns",
+    "write_tns",
+    "TensorStats",
+    "compute_stats",
+]

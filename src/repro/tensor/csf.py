@@ -1,0 +1,245 @@
+"""Compressed Sparse Fiber (CSF) tensors.
+
+CSF (Smith & Karypis, "SPLATT") is the higher-order generalization of CSR:
+the modes of a sparse tensor are compressed recursively so that each
+root-to-leaf path encodes one non-zero's coordinates (paper Figure 2).  The
+format removes the duplication of slice/fiber indices that COO carries, and
+— more importantly for MTTKRP — makes the fiber structure explicit, so the
+kernel can hoist factor rows out of inner loops (paper Algorithm 3).
+
+Representation
+--------------
+For an ``N``-mode tensor ordered by ``mode_order`` (``mode_order[0]`` is the
+root):
+
+* ``fids[l]`` — for level ``l``, the mode-``mode_order[l]`` index of every
+  node at that level.  Level ``N-1`` (the leaves) has one node per non-zero.
+* ``fptr[l]`` — for levels ``0 .. N-2``, a pointer array of length
+  ``nnodes(l) + 1`` delimiting each node's children at level ``l+1``.
+* ``vals`` — the non-zero values, one per leaf, in tree order.
+
+Construction sorts the COO tensor lexicographically by ``mode_order`` and
+finds the unique prefixes of every length — an ``O(nnz log nnz)`` one-time
+cost, amortized over the whole factorization (the tensor's sparsity pattern
+is static; see Section IV-C of the paper for the contrast with the dynamic
+factor sparsity).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..validation import check_mode, require
+from .coo import COOTensor
+
+
+def default_mode_order(nmodes: int, root: int) -> tuple[int, ...]:
+    """Mode order with *root* first and remaining modes in increasing order."""
+    root = check_mode(root, nmodes)
+    return (root,) + tuple(m for m in range(nmodes) if m != root)
+
+
+class CSFTensor:
+    """A sparse tensor compressed as a forest of fiber trees.
+
+    Use :meth:`from_coo` to construct.  The class is immutable after
+    construction; all arrays are private to the instance.
+    """
+
+    __slots__ = ("shape", "mode_order", "fids", "fptr", "vals")
+
+    def __init__(self, shape: tuple[int, ...], mode_order: tuple[int, ...],
+                 fids: list[np.ndarray], fptr: list[np.ndarray],
+                 vals: np.ndarray):
+        self.shape = shape
+        self.mode_order = mode_order
+        self.fids = fids
+        self.fptr = fptr
+        self.vals = vals
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, tensor: COOTensor,
+                 mode_order: Sequence[int] | None = None) -> "CSFTensor":
+        """Compress a COO tensor.
+
+        Parameters
+        ----------
+        tensor:
+            Source tensor.  Duplicate coordinates must already be summed
+            (see :meth:`COOTensor.deduplicate`); duplicates would create
+            leaves with equal coordinates, which the MTTKRP kernels handle
+            but reconstruction queries do not expect.
+        mode_order:
+            Permutation of the modes; ``mode_order[0]`` becomes the root
+            level.  Defaults to ``(0, 1, ..., N-1)``.
+        """
+        nmodes = tensor.nmodes
+        if mode_order is None:
+            mode_order = tuple(range(nmodes))
+        else:
+            mode_order = tuple(check_mode(m, nmodes) for m in mode_order)
+            require(sorted(mode_order) == list(range(nmodes)),
+                    "mode_order must be a permutation of all modes")
+
+        sorted_coo = tensor.sort_lex(mode_order)
+        coords, vals = sorted_coo.coords, sorted_coo.vals
+        nnz = sorted_coo.nnz
+
+        if nnz == 0:
+            fids = [np.empty(0, dtype=INDEX_DTYPE) for _ in range(nmodes)]
+            fptr = [np.zeros(1, dtype=INDEX_DTYPE) for _ in range(nmodes - 1)]
+            return cls(tensor.shape, mode_order, fids,
+                       fptr, np.empty(0, dtype=VALUE_DTYPE))
+
+        # `changed[l][p]` - True when the length-(l+1) prefix of non-zero p
+        # differs from non-zero p-1.  A change at a shorter prefix implies a
+        # change at every longer prefix, so we accumulate with |=.
+        fids: list[np.ndarray] = []
+        starts_per_level: list[np.ndarray] = []
+        changed = np.zeros(nnz, dtype=bool)
+        changed[0] = True
+        for level in range(nmodes):
+            mode = mode_order[level]
+            if level < nmodes - 1:
+                changed = changed.copy()
+                changed[1:] |= coords[mode, 1:] != coords[mode, :-1]
+                starts = np.flatnonzero(changed)
+                starts_per_level.append(starts.astype(INDEX_DTYPE))
+                fids.append(coords[mode, starts].copy())
+            else:
+                # Leaves: one node per non-zero.
+                starts_per_level.append(
+                    np.arange(nnz, dtype=INDEX_DTYPE))
+                fids.append(coords[mode].copy())
+
+        fptr: list[np.ndarray] = []
+        for level in range(nmodes - 1):
+            upper = starts_per_level[level]
+            lower = starts_per_level[level + 1]
+            bounds = np.concatenate(
+                [upper, np.array([nnz], dtype=INDEX_DTYPE)])
+            fptr.append(np.searchsorted(lower, bounds).astype(INDEX_DTYPE))
+
+        return cls(tensor.shape, mode_order, fids, fptr, vals.copy())
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nmodes(self) -> int:
+        """Tensor order."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zeros (leaves)."""
+        return self.vals.shape[0]
+
+    def nnodes(self, level: int) -> int:
+        """Number of nodes at *level* (0 = roots, N-1 = leaves)."""
+        return self.fids[level].shape[0]
+
+    @property
+    def nfibers(self) -> int:
+        """Nodes at the second-to-last level — the fibers of Algorithm 3."""
+        if self.nmodes == 1:
+            return self.nnodes(0)
+        return self.nnodes(self.nmodes - 2)
+
+    @property
+    def nslices(self) -> int:
+        """Number of non-empty root slices."""
+        return self.nnodes(0)
+
+    def children_counts(self, level: int) -> np.ndarray:
+        """Number of children of every node at *level* (< leaves)."""
+        return np.diff(self.fptr[level])
+
+    def storage_bytes(self) -> int:
+        """Bytes used by the index and value arrays (for the cost model)."""
+        total = self.vals.nbytes
+        for arr in self.fids:
+            total += arr.nbytes
+        for arr in self.fptr:
+            total += arr.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = "/".join(str(self.nnodes(l)) for l in range(self.nmodes))
+        return (f"CSFTensor(shape={self.shape}, order={self.mode_order}, "
+                f"nodes={sizes})")
+
+    # ------------------------------------------------------------------
+    # Conversion back (round-trip support + tests)
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOTensor:
+        """Expand back to coordinate format (lex-sorted by ``mode_order``)."""
+        nmodes = self.nmodes
+        nnz = self.nnz
+        coords = np.empty((nmodes, nnz), dtype=INDEX_DTYPE)
+        if nnz:
+            # Expand each level's node ids down to the leaves.
+            for level in range(nmodes):
+                ids = self.fids[level]
+                for lower in range(level, nmodes - 1):
+                    ids = np.repeat(ids, np.diff(self.fptr[lower]))
+                coords[self.mode_order[level]] = ids
+        return COOTensor(coords, self.vals.copy(), self.shape)
+
+    def expand_to_level(self, arr: np.ndarray, level: int,
+                        target: int) -> np.ndarray:
+        """Repeat a per-node array at *level* down to *target* level nodes."""
+        require(0 <= level <= target < self.nmodes, "bad level pair")
+        out = arr
+        for lower in range(level, target):
+            out = np.repeat(out, np.diff(self.fptr[lower]), axis=0)
+        return out
+
+
+class AllModeCSF:
+    """A bundle of CSF representations, one rooted at each mode.
+
+    SPLATT's ``ALLMODE`` allocation: MTTKRP for mode ``m`` always runs the
+    efficient *root-mode* kernel on ``csf(m)``.  Trees are built lazily and
+    cached, so a factorization touching all modes pays each sort exactly
+    once.
+    """
+
+    def __init__(self, tensor: COOTensor):
+        self._tensor = tensor
+        self._trees: dict[int, CSFTensor] = {}
+
+    @property
+    def tensor(self) -> COOTensor:
+        """The underlying COO tensor."""
+        return self._tensor
+
+    @property
+    def nmodes(self) -> int:
+        return self._tensor.nmodes
+
+    def csf(self, mode: int) -> CSFTensor:
+        """The CSF tree rooted at *mode* (built on first request)."""
+        mode = check_mode(mode, self._tensor.nmodes)
+        tree = self._trees.get(mode)
+        if tree is None:
+            order = default_mode_order(self._tensor.nmodes, mode)
+            tree = CSFTensor.from_coo(self._tensor, order)
+            self._trees[mode] = tree
+        return tree
+
+    def build_all(self) -> "AllModeCSF":
+        """Eagerly build every tree (useful before timing loops)."""
+        for mode in range(self._tensor.nmodes):
+            self.csf(mode)
+        return self
+
+    def storage_bytes(self) -> int:
+        """Total bytes of all built trees."""
+        return sum(t.storage_bytes() for t in self._trees.values())

@@ -1,0 +1,68 @@
+"""Dense reconstruction helpers (reference implementations for tests).
+
+These are deliberately simple and allocate the full tensor; they exist so
+that every sparse kernel in the library has an independent dense oracle to
+be verified against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import VALUE_DTYPE, FactorList
+from ..validation import check_factor, require
+
+
+def dense_from_factors(factors: FactorList,
+                       weights: np.ndarray | None = None) -> np.ndarray:
+    """Reconstruct the dense tensor of a CPD model.
+
+    ``T[i, j, ..., z] = sum_f w[f] * A0[i, f] * A1[j, f] * ... * An[z, f]``
+
+    Parameters
+    ----------
+    factors:
+        One ``(I_m, F)`` matrix per mode.
+    weights:
+        Optional per-component weights ``(F,)``; defaults to all ones.
+    """
+    require(len(factors) >= 1, "need at least one factor")
+    rank = factors[0].shape[1]
+    mats = [check_factor(f, rank=rank, name=f"factor {m}")
+            for m, f in enumerate(factors)]
+    if weights is None:
+        weights = np.ones(rank, dtype=VALUE_DTYPE)
+    weights = np.asarray(weights, dtype=VALUE_DTYPE)
+    require(weights.shape == (rank,), "weights must have one entry per component")
+
+    # einsum over an arbitrary number of modes: 'if,jf,kf->ijk' etc.
+    letters = "abcdefghijklmnopqrstuvwxy"
+    require(len(mats) <= len(letters), "too many modes for dense reconstruction")
+    subs = ",".join(f"{letters[m]}z" for m in range(len(mats)))
+    out_sub = "".join(letters[m] for m in range(len(mats)))
+    scaled = [mats[0] * weights] + [np.asarray(m) for m in mats[1:]]
+    return np.einsum(f"{subs}->{out_sub}", *scaled, optimize=True)
+
+
+def khatri_rao_reconstruct(factors: FactorList, mode: int) -> np.ndarray:
+    """Mode-*mode* matricization of the CPD model, ``A_m @ KR(others).T``.
+
+    The Khatri-Rao product runs over all other modes in **decreasing** mode
+    order (the Kolda & Bader convention), matching
+    :func:`repro.linalg.khatri_rao.khatri_rao_excluding`.
+    """
+    from ..linalg.khatri_rao import khatri_rao_excluding
+
+    kr = khatri_rao_excluding(factors, mode)
+    return np.asarray(factors[mode]) @ kr.T
+
+
+def relative_error_dense(dense: np.ndarray, factors: FactorList,
+                         weights: np.ndarray | None = None) -> float:
+    """``||X - X_hat||_F / ||X||_F`` computed via full reconstruction."""
+    recon = dense_from_factors(factors, weights)
+    num = float(np.linalg.norm(dense - recon))
+    den = float(np.linalg.norm(dense))
+    return num / den if den else num

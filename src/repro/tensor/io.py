@@ -1,0 +1,75 @@
+"""FROSTT ``.tns`` file I/O.
+
+The FROSTT text format stores one non-zero per line: ``i_1 i_2 ... i_N value``
+with **1-based** indices.  Comment lines start with ``#``.  Files may be
+gzip-compressed (detected by the ``.gz`` suffix).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE
+from ..validation import require
+from .coo import COOTensor
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_tns(path: str | Path,
+             shape: Sequence[int] | None = None) -> COOTensor:
+    """Read a FROSTT ``.tns`` file into a :class:`COOTensor`.
+
+    Parameters
+    ----------
+    shape:
+        Optional explicit shape.  When omitted, extents are inferred as the
+        per-mode maximum index.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        lines = [line for line in handle
+                 if line.strip() and not line.lstrip().startswith("#")]
+    if lines:
+        data = np.loadtxt(lines, dtype=np.float64, ndmin=2)
+    else:
+        data = np.empty((0, 0))
+    if data.size == 0:
+        require(shape is not None,
+                "cannot infer the shape of an empty tensor file")
+        nmodes = len(shape)  # type: ignore[arg-type]
+        return COOTensor(np.empty((nmodes, 0), dtype=INDEX_DTYPE),
+                         np.empty(0, dtype=VALUE_DTYPE), shape)
+    nmodes = data.shape[1] - 1
+    require(nmodes >= 1, f"{path}: lines need >= 2 columns")
+    coords = data[:, :nmodes].T.astype(INDEX_DTYPE) - 1  # 1-based on disk
+    vals = np.ascontiguousarray(data[:, nmodes], dtype=VALUE_DTYPE)
+    if shape is None:
+        shape = tuple(int(c.max()) + 1 for c in coords)
+    return COOTensor(coords, vals, shape)
+
+
+def write_tns(tensor: COOTensor, path: str | Path,
+              header: str | None = None) -> Path:
+    """Write a :class:`COOTensor` to a FROSTT ``.tns`` file (1-based)."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        coords = tensor.coords + 1
+        buf = io.StringIO()
+        for p in range(tensor.nnz):
+            idx = " ".join(str(coords[m, p]) for m in range(tensor.nmodes))
+            buf.write(f"{idx} {tensor.vals[p]:.17g}\n")
+        handle.write(buf.getvalue())
+    return path

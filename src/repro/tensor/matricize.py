@@ -1,0 +1,87 @@
+"""Tensor matricization (unfolding) for sparse COO tensors.
+
+The mode-``n`` unfolding ``X_(n)`` follows the Kolda & Bader convention:
+tensor element ``(i_0, ..., i_{N-1})`` maps to row ``i_n`` and column
+
+``j = sum_{k != n} i_k * prod_{l < k, l != n} I_l``
+
+i.e. among the remaining modes, **lower-numbered modes vary fastest**.  This
+matches the Khatri-Rao ordering used in :mod:`repro.linalg.khatri_rao`, so
+that ``X_(0) ~= A0 @ kr(A_{N-1}, ..., A_1).T``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..types import INDEX_DTYPE
+from ..validation import check_mode
+from .coo import COOTensor
+
+
+def _other_modes(nmodes: int, mode: int) -> list[int]:
+    """Remaining modes in increasing order (fastest-varying first)."""
+    return [m for m in range(nmodes) if m != mode]
+
+
+def linearize_indices(coords: np.ndarray, shape: Sequence[int],
+                      modes: Sequence[int]) -> np.ndarray:
+    """Linearize the coordinates of *modes* with the first mode fastest.
+
+    ``j = coords[modes[0]] + coords[modes[1]] * I_{modes[0]} + ...``
+    """
+    out = np.zeros(coords.shape[1], dtype=INDEX_DTYPE)
+    stride = 1
+    for m in modes:
+        out += coords[m] * stride
+        stride *= int(shape[m])
+    return out
+
+
+def delinearize_indices(linear: np.ndarray, shape: Sequence[int],
+                        modes: Sequence[int]) -> np.ndarray:
+    """Invert :func:`linearize_indices`; returns ``(len(modes), n)`` coords."""
+    linear = np.asarray(linear, dtype=INDEX_DTYPE)
+    out = np.empty((len(modes), linear.shape[0]), dtype=INDEX_DTYPE)
+    rem = linear.copy()
+    for row, m in enumerate(modes):
+        extent = int(shape[m])
+        out[row] = rem % extent
+        rem //= extent
+    return out
+
+
+def matricize_coo(tensor: COOTensor, mode: int) -> sp.csr_matrix:
+    """Return the sparse mode-*mode* unfolding ``X_(mode)`` as CSR.
+
+    The result has shape ``(I_mode, prod of other extents)``.  Used by the
+    reference (oracle) MTTKRP and by tests; production kernels work on the
+    COO/CSF structures directly and never materialize this matrix.
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    others = _other_modes(tensor.nmodes, mode)
+    rows = tensor.coords[mode]
+    cols = linearize_indices(tensor.coords, tensor.shape, others)
+    ncols = 1
+    for m in others:
+        ncols *= tensor.shape[m]
+    mat = sp.coo_matrix(
+        (tensor.vals, (rows, cols)), shape=(tensor.shape[mode], ncols)
+    )
+    return mat.tocsr()
+
+
+def matricize_dense(dense: np.ndarray, mode: int) -> np.ndarray:
+    """Dense mode-*mode* unfolding with the same column convention."""
+    dense = np.asarray(dense)
+    mode = check_mode(mode, dense.ndim)
+    others = _other_modes(dense.ndim, mode)
+    # moveaxis puts `mode` first; remaining axes keep increasing order.
+    moved = np.moveaxis(dense, mode, 0)
+    # Column index must have others[0] fastest => reverse the remaining axes
+    # before the C-order reshape (C-order makes the LAST axis fastest).
+    moved = moved.transpose((0,) + tuple(range(moved.ndim - 1, 0, -1)))
+    return moved.reshape(dense.shape[mode], -1)

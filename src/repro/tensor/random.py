@@ -1,0 +1,181 @@
+"""Random sparse tensor generators.
+
+Two families:
+
+* :func:`random_coo` — i.i.d. uniform coordinates (structureless; used for
+  kernel correctness tests and micro-benchmarks).
+* :func:`lowrank_coo` / :func:`noisy_lowrank_coo` — tensors *planted* with
+  non-negative low-rank structure whose non-zero locations follow the same
+  factor-driven probabilities.  These make the convergence experiments
+  meaningful: AO-ADMM has an actual low-error solution to find, and the
+  per-slice non-zero counts inherit the factors' skew (the "high-signal
+  rows" of Section IV-B).
+
+The dataset-shaped generators in :mod:`repro.datasets.synthetic` build on
+these with Zipf-distributed mode marginals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE, SeedLike, as_generator
+from ..validation import check_rank, check_shape, require
+from .coo import COOTensor
+
+
+def random_coo(shape: Sequence[int], nnz: int,
+               seed: SeedLike = None,
+               value_dist: str = "uniform") -> COOTensor:
+    """A tensor with *nnz* uniformly placed non-zeros.
+
+    Duplicate coordinates are summed, so the resulting ``nnz`` may be
+    slightly below the request on dense shapes.
+
+    Parameters
+    ----------
+    value_dist:
+        ``"uniform"`` (values in ``(0, 1]``), ``"normal"`` (standard
+        normal), or ``"ones"``.
+    """
+    shape = check_shape(shape)
+    require(nnz >= 0, "nnz must be non-negative")
+    rng = as_generator(seed)
+    coords = np.empty((len(shape), nnz), dtype=INDEX_DTYPE)
+    for m, extent in enumerate(shape):
+        coords[m] = rng.integers(0, extent, size=nnz, dtype=INDEX_DTYPE)
+    if value_dist == "uniform":
+        vals = rng.uniform(np.finfo(float).eps, 1.0, size=nnz)
+    elif value_dist == "normal":
+        vals = rng.standard_normal(nnz)
+    elif value_dist == "ones":
+        vals = np.ones(nnz, dtype=VALUE_DTYPE)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown value_dist {value_dist!r}")
+    return COOTensor(coords, vals, shape).deduplicate()
+
+
+def random_factors(shape: Sequence[int], rank: int, seed: SeedLike = None,
+                   nonneg: bool = True,
+                   sparsity: float = 0.0) -> list[np.ndarray]:
+    """Random factor matrices, optionally non-negative and/or sparse.
+
+    Parameters
+    ----------
+    sparsity:
+        Fraction of entries zeroed out uniformly at random (``0`` = dense).
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    require(0.0 <= sparsity < 1.0, "sparsity must be in [0, 1)")
+    rng = as_generator(seed)
+    factors = []
+    for extent in shape:
+        if nonneg:
+            mat = rng.uniform(0.0, 1.0, size=(extent, rank))
+        else:
+            mat = rng.standard_normal((extent, rank))
+        if sparsity > 0.0:
+            mask = rng.uniform(size=mat.shape) < sparsity
+            mat[mask] = 0.0
+        factors.append(np.ascontiguousarray(mat, dtype=VALUE_DTYPE))
+    return factors
+
+
+def _sample_coords_from_factors(factors: Sequence[np.ndarray], nnz: int,
+                                rng: np.random.Generator) -> np.ndarray:
+    """Sample coordinates proportional to the rank-1 component masses.
+
+    For each sample, draw a component ``f`` proportional to the component's
+    total mass, then draw each mode index from that component's (normalized)
+    column.  This yields exactly the CP model's probability mass when the
+    factors are non-negative.
+    """
+    rank = factors[0].shape[1]
+    # Component masses: prod over modes of column sums.
+    col_sums = np.stack([np.abs(f).sum(axis=0) for f in factors])  # (N, F)
+    comp_mass = np.prod(np.maximum(col_sums, 1e-300), axis=0)
+    comp_p = comp_mass / comp_mass.sum()
+    comps = rng.choice(rank, size=nnz, p=comp_p)
+
+    coords = np.empty((len(factors), nnz), dtype=INDEX_DTYPE)
+    for m, factor in enumerate(factors):
+        probs = np.abs(factor) / np.maximum(np.abs(factor).sum(axis=0), 1e-300)
+        # Vectorized per-component sampling: group samples by component.
+        order = np.argsort(comps, kind="stable")
+        sorted_comps = comps[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_comps[1:] != sorted_comps[:-1]])
+        bounds = np.r_[starts, nnz]
+        out = np.empty(nnz, dtype=INDEX_DTYPE)
+        for idx in range(len(starts)):
+            f = sorted_comps[starts[idx]]
+            count = bounds[idx + 1] - bounds[idx]
+            out[order[starts[idx]:bounds[idx + 1]]] = rng.choice(
+                factor.shape[0], size=count, p=probs[:, f])
+        coords[m] = out
+    return coords
+
+
+def lowrank_coo(shape: Sequence[int], rank: int, nnz: int,
+                seed: SeedLike = None,
+                factors: Sequence[np.ndarray] | None = None
+                ) -> tuple[COOTensor, list[np.ndarray]]:
+    """A sparse tensor whose non-zeros carry exact low-rank values.
+
+    Non-zero locations are sampled from the CP model's own mass, and the
+    stored values are the exact model values at those locations.  Returns
+    the tensor and the ground-truth factors.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    rng = as_generator(seed)
+    if factors is None:
+        factors = random_factors(shape, rank, seed=rng, nonneg=True)
+    coords = _sample_coords_from_factors(factors, nnz, rng)
+    # Deduplicate the *locations* first, then evaluate: the stored values
+    # are exact model samples, so repeated draws must not be summed.
+    locs = COOTensor(coords, np.ones(coords.shape[1]), shape).deduplicate()
+    vals = cp_values_at(factors, locs.coords)
+    return COOTensor(locs.coords, vals, shape), list(factors)
+
+
+def noisy_lowrank_coo(shape: Sequence[int], rank: int, nnz: int,
+                      noise: float = 0.1, seed: SeedLike = None,
+                      factors: Sequence[np.ndarray] | None = None
+                      ) -> tuple[COOTensor, list[np.ndarray]]:
+    """Like :func:`lowrank_coo` with relative Gaussian noise on the values.
+
+    ``noise`` is the standard deviation relative to the RMS model value;
+    values are clipped at zero to keep the tensor non-negative (matching the
+    count/rating data of the paper's corpora).
+    """
+    require(noise >= 0.0, "noise must be non-negative")
+    tensor, factors = lowrank_coo(shape, rank, nnz, seed=seed,
+                                  factors=factors)
+    rng = as_generator(seed if not isinstance(seed, np.random.Generator)
+                       else seed)
+    if noise > 0.0 and tensor.nnz:
+        rms = float(np.sqrt(np.mean(tensor.vals ** 2)))
+        tensor.vals = tensor.vals + rng.normal(
+            0.0, noise * rms, size=tensor.nnz)
+        np.maximum(tensor.vals, 0.0, out=tensor.vals)
+        tensor = tensor.drop_zeros()
+    return tensor, factors
+
+
+def cp_values_at(factors: Sequence[np.ndarray],
+                 coords: np.ndarray) -> np.ndarray:
+    """Evaluate the CP model at the given coordinates.
+
+    ``vals[p] = sum_f prod_m factors[m][coords[m, p], f]`` — an out-of-core
+    friendly gather that never materializes the dense tensor.
+    """
+    nnz = coords.shape[1]
+    rank = factors[0].shape[1]
+    acc = np.ones((nnz, rank), dtype=VALUE_DTYPE)
+    for m, factor in enumerate(factors):
+        acc *= factor[coords[m]]
+    return acc.sum(axis=1)

@@ -1,0 +1,97 @@
+"""Shape and skew statistics of sparse tensors.
+
+These drive two things:
+
+* the dataset summary table (paper Table I), and
+* the machine model's workload descriptors — fiber/slice counts determine
+  MTTKRP memory traffic, and the skew of per-slice non-zero counts
+  determines load imbalance and the "high-signal rows" effect of
+  Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOTensor
+from .csf import AllModeCSF
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """Summary statistics of a sparse tensor."""
+
+    shape: tuple[int, ...]
+    nnz: int
+    density: float
+    #: Non-empty slice count per mode.
+    nonempty_slices: tuple[int, ...]
+    #: Fibers (distinct leading index pairs) of the mode-rooted CSF trees.
+    fibers_per_mode: tuple[int, ...]
+    #: Gini coefficient of per-slice nnz, per mode (0 = uniform, ->1 = skewed).
+    slice_skew: tuple[float, ...]
+    #: Maximum per-slice nnz divided by the mean, per mode (imbalance factor).
+    slice_imbalance: tuple[float, ...]
+
+    def summary_row(self) -> dict[str, object]:
+        """Row for the Table-I-style dataset summary."""
+        row: dict[str, object] = {
+            "NNZ": self.nnz,
+            "density": self.density,
+        }
+        for m, extent in enumerate(self.shape):
+            row[f"dim{m}"] = extent
+        return row
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector.
+
+    Returns 0 for uniform loads; approaches 1 when a few slices hold all
+    the non-zeros (the power-law regime of the paper's corpora).
+    """
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    total = counts.sum()
+    if total <= 0 or counts.size == 0:
+        return 0.0
+    n = counts.size
+    # Standard formula: G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float(2.0 * np.dot(ranks, counts) / (n * total) - (n + 1.0) / n)
+
+
+def compute_stats(tensor: COOTensor,
+                  with_fibers: bool = True) -> TensorStats:
+    """Compute :class:`TensorStats` for *tensor*.
+
+    ``with_fibers=False`` skips CSF construction (cheaper for quick summaries).
+    """
+    skew = []
+    imbalance = []
+    nonempty = []
+    for m in range(tensor.nmodes):
+        counts = tensor.mode_slice_counts(m)
+        pos = counts[counts > 0]
+        nonempty.append(int(pos.size))
+        skew.append(gini(pos))
+        imbalance.append(
+            float(pos.max() / pos.mean()) if pos.size else 0.0)
+
+    if with_fibers and tensor.nnz:
+        trees = AllModeCSF(tensor)
+        fibers = tuple(int(trees.csf(m).nfibers)
+                       for m in range(tensor.nmodes))
+    else:
+        fibers = tuple(0 for _ in range(tensor.nmodes))
+
+    return TensorStats(
+        shape=tensor.shape,
+        nnz=tensor.nnz,
+        density=tensor.density,
+        nonempty_slices=tuple(nonempty),
+        fibers_per_mode=fibers,
+        slice_skew=tuple(skew),
+        slice_imbalance=tuple(imbalance),
+    )

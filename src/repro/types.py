@@ -1,0 +1,49 @@
+"""Shared type aliases and lightweight protocols used across :mod:`repro`.
+
+The package standardizes on
+
+* ``int64`` coordinates (tensor indices can exceed ``int32`` for the
+  billion-scale tensors the paper targets), and
+* ``float64`` values (the factorization is a least-squares solver; single
+  precision would change convergence behaviour).
+
+Everything here is importable without pulling in heavyweight submodules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+#: dtype used for all tensor coordinates.
+INDEX_DTYPE = np.int64
+
+#: dtype used for all tensor / factor values.
+VALUE_DTYPE = np.float64
+
+#: A dense factor matrix (``I_m x F``).
+FactorMatrix = np.ndarray
+
+#: A list of factor matrices, one per tensor mode.
+FactorList = Sequence[np.ndarray]
+
+#: Shape of a tensor: one extent per mode.
+Shape = tuple[int, ...]
+
+#: Anything accepted as a random seed.
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Callback invoked once per outer AO-ADMM iteration.
+IterationCallback = Callable[..., None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from any seed-like input.
+
+    Passing an existing generator returns it unchanged, which lets callers
+    thread a single stream through multiple components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

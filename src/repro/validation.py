@@ -1,0 +1,96 @@
+"""Input validation helpers shared by the public API surface.
+
+These raise uniform, descriptive exceptions so that user errors surface at
+API boundaries instead of deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .types import INDEX_DTYPE, VALUE_DTYPE
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate and normalize a tensor shape.
+
+    Every extent must be a positive integer; at least one mode is required.
+    """
+    shape = tuple(int(s) for s in shape)
+    require(len(shape) >= 1, "tensor must have at least one mode")
+    for m, extent in enumerate(shape):
+        require(extent >= 1, f"mode {m} has non-positive extent {extent}")
+    return shape
+
+
+def check_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate a ``(nmodes, nnz)`` coordinate array against *shape*.
+
+    Returns the coordinates as a C-contiguous ``int64`` array.
+    """
+    coords = np.ascontiguousarray(coords, dtype=INDEX_DTYPE)
+    require(coords.ndim == 2, "coords must be a 2-D (nmodes, nnz) array")
+    require(
+        coords.shape[0] == len(shape),
+        f"coords has {coords.shape[0]} modes but shape has {len(shape)}",
+    )
+    if coords.shape[1]:
+        lo = coords.min(axis=1)
+        hi = coords.max(axis=1)
+        for m, extent in enumerate(shape):
+            require(lo[m] >= 0, f"mode {m} has negative index {lo[m]}")
+            require(
+                hi[m] < extent,
+                f"mode {m} index {hi[m]} out of range for extent {extent}",
+            )
+    return coords
+
+
+def check_values(vals: np.ndarray, nnz: int) -> np.ndarray:
+    """Validate a value array of length *nnz*; returns ``float64`` copy/view."""
+    vals = np.ascontiguousarray(vals, dtype=VALUE_DTYPE)
+    require(vals.ndim == 1, "values must be 1-D")
+    require(vals.shape[0] == nnz, f"expected {nnz} values, got {vals.shape[0]}")
+    return vals
+
+
+def check_factor(factor: np.ndarray, extent: int | None = None,
+                 rank: int | None = None, name: str = "factor") -> np.ndarray:
+    """Validate a dense factor matrix, optionally against extent/rank."""
+    factor = np.ascontiguousarray(factor, dtype=VALUE_DTYPE)
+    require(factor.ndim == 2, f"{name} must be a 2-D matrix")
+    if extent is not None:
+        require(
+            factor.shape[0] == extent,
+            f"{name} has {factor.shape[0]} rows, expected {extent}",
+        )
+    if rank is not None:
+        require(
+            factor.shape[1] == rank,
+            f"{name} has {factor.shape[1]} columns, expected rank {rank}",
+        )
+    return factor
+
+
+def check_mode(mode: int, nmodes: int) -> int:
+    """Validate a mode index (supports negative indexing)."""
+    mode = int(mode)
+    if mode < 0:
+        mode += nmodes
+    require(0 <= mode < nmodes, f"mode {mode} out of range for {nmodes} modes")
+    return mode
+
+
+def check_rank(rank: int) -> int:
+    """Validate a CPD rank."""
+    rank = int(rank)
+    require(rank >= 1, f"rank must be positive, got {rank}")
+    return rank

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, random_coo
+from repro.tensor.random import random_factors
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for the whole suite."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tensor() -> COOTensor:
+    """A 3-mode random tensor used across kernel/solver tests."""
+    return random_coo((12, 9, 15), 140, seed=7)
+
+
+@pytest.fixture
+def four_mode_tensor() -> COOTensor:
+    """A 4-mode tensor exercising the general CSF paths."""
+    return random_coo((6, 5, 7, 4), 120, seed=11)
+
+
+@pytest.fixture
+def small_factors(small_tensor) -> list[np.ndarray]:
+    """Dense signed factors matching ``small_tensor``."""
+    gen = np.random.default_rng(23)
+    return [gen.standard_normal((s, 5)) for s in small_tensor.shape]
+
+
+@pytest.fixture
+def nonneg_factors(small_tensor) -> list[np.ndarray]:
+    """Non-negative factors matching ``small_tensor``."""
+    return random_factors(small_tensor.shape, 5, seed=29, nonneg=True)

@@ -1,0 +1,213 @@
+"""ADMM inner-solver tests: correctness against closed forms and oracles."""
+
+import numpy as np
+import pytest
+import scipy.optimize
+
+from repro.admm import (
+    AdmmState,
+    FixedRho,
+    NormalizedTraceRho,
+    TraceRho,
+    admm_update,
+    blocked_admm_update,
+    make_rho_policy,
+    relative_residuals,
+)
+from repro.constraints import L1, NonNegative, Unconstrained
+from repro.constraints.base import Constraint
+
+
+def make_problem(rng, rows=40, rank=5, cols=30):
+    """A least-squares mode subproblem min ||X - H W^T|| with known W, X."""
+    w = rng.standard_normal((cols, rank))
+    h_true = np.abs(rng.standard_normal((rows, rank)))
+    x = h_true @ w.T + 0.01 * rng.standard_normal((rows, cols))
+    gram = w.T @ w
+    mttkrp = x @ w
+    return mttkrp, gram, x, w
+
+
+class TestRhoPolicies:
+    def test_trace_rho(self):
+        g = np.diag([1.0, 2.0, 3.0])
+        assert TraceRho().rho(g) == pytest.approx(2.0)
+
+    def test_trace_rho_floor(self):
+        assert TraceRho(floor=1e-3).rho(np.zeros((3, 3))) == 1e-3
+
+    def test_fixed_rho(self):
+        assert FixedRho(2.5).rho(np.eye(3)) == 2.5
+        with pytest.raises(ValueError):
+            FixedRho(0.0)
+
+    def test_scaled_trace(self):
+        g = np.eye(4)
+        assert NormalizedTraceRho(scale=3.0).rho(g) == pytest.approx(3.0)
+
+    def test_make_policy(self):
+        assert isinstance(make_rho_policy("trace"), TraceRho)
+        assert isinstance(make_rho_policy(1.5), FixedRho)
+        policy = TraceRho()
+        assert make_rho_policy(policy) is policy
+        with pytest.raises(ValueError):
+            make_rho_policy("bogus")
+
+
+class TestResiduals:
+    def test_zero_when_converged(self, rng):
+        h = rng.standard_normal((5, 3))
+        r, s = relative_residuals(h, h, h, np.ones_like(h))
+        assert r == 0.0 and s == 0.0
+
+    def test_no_division_by_zero(self):
+        z = np.zeros((3, 2))
+        r, s = relative_residuals(z, z + 1.0, z, z)
+        assert np.isfinite(r) and np.isfinite(s)
+
+
+class TestFullAdmm:
+    def test_unconstrained_reaches_least_squares(self, rng):
+        mttkrp, gram, x, w = make_problem(rng)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        admm_update(state, mttkrp, gram, Unconstrained(),
+                    tolerance=1e-12, max_iterations=300)
+        exact = np.linalg.solve(gram, mttkrp.T).T
+        np.testing.assert_allclose(state.primal, exact, atol=1e-4)
+
+    def test_nonneg_matches_nnls(self, rng):
+        mttkrp, gram, x, w = make_problem(rng, rows=12, rank=4, cols=25)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        admm_update(state, mttkrp, gram, NonNegative(),
+                    tolerance=1e-10, max_iterations=500)
+        for i in range(12):
+            expected, _ = scipy.optimize.nnls(w, x[i])
+            np.testing.assert_allclose(state.primal[i], expected, atol=1e-3)
+
+    def test_l1_stationarity(self, rng):
+        """KKT: for nonzero entries, gradient + weight*sign == 0."""
+        weight = 0.5
+        mttkrp, gram, _, _ = make_problem(rng, rows=15, rank=4)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        admm_update(state, mttkrp, gram, L1(weight),
+                    tolerance=1e-12, max_iterations=800)
+        grad = state.primal @ gram - mttkrp
+        h = state.primal
+        nz = np.abs(h) > 1e-6
+        np.testing.assert_allclose(grad[nz], -weight * np.sign(h[nz]),
+                                   atol=2e-2)
+        # Subgradient condition where h == 0.
+        assert (np.abs(grad[~nz]) <= weight + 2e-2).all()
+
+    def test_report_fields(self, rng):
+        mttkrp, gram, _, _ = make_problem(rng)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        report = admm_update(state, mttkrp, gram, NonNegative())
+        assert report.iterations >= 1
+        assert report.rho == pytest.approx(np.trace(gram) / gram.shape[0])
+        assert report.primal_residual >= 0.0
+
+    def test_warm_start_converges_quickly(self, rng):
+        mttkrp, gram, _, _ = make_problem(rng)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        admm_update(state, mttkrp, gram, NonNegative(),
+                    tolerance=1e-10, max_iterations=400)
+        warm = admm_update(state, mttkrp, gram, NonNegative(),
+                           tolerance=1e-10, max_iterations=400)
+        assert warm.iterations <= 3
+
+    def test_shape_mismatch_rejected(self, rng):
+        state = AdmmState.from_factor(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            admm_update(state, np.zeros((5, 3)), np.eye(3), NonNegative())
+
+
+class TestBlockedAdmm:
+    def test_matches_full_admm_solution(self, rng):
+        """Blocked and full ADMM share fixed points (row-separable prox)."""
+        mttkrp, gram, x, w = make_problem(rng, rows=60)
+        full = AdmmState.from_factor(np.zeros_like(mttkrp))
+        admm_update(full, mttkrp, gram, NonNegative(),
+                    tolerance=1e-12, max_iterations=600)
+        blocked = AdmmState.from_factor(np.zeros_like(mttkrp))
+        blocked_admm_update(blocked, mttkrp, gram, NonNegative(),
+                            tolerance=1e-12, max_iterations=600,
+                            block_size=13)
+        np.testing.assert_allclose(blocked.primal, full.primal, atol=1e-4)
+
+    def test_single_block_equals_unblocked(self, rng):
+        mttkrp, gram, _, _ = make_problem(rng, rows=20)
+        a = AdmmState.from_factor(np.zeros_like(mttkrp))
+        b = a.copy()
+        rep_a = admm_update(a, mttkrp, gram, NonNegative(),
+                            tolerance=1e-8, max_iterations=50)
+        rep_b = blocked_admm_update(b, mttkrp, gram, NonNegative(),
+                                    tolerance=1e-8, max_iterations=50,
+                                    block_size=10**9)
+        np.testing.assert_allclose(a.primal, b.primal, atol=1e-12)
+        assert rep_b.block_iterations == (rep_a.iterations,)
+
+    def test_per_block_iteration_counts_vary(self, rng):
+        """Blocks with stronger signal may iterate differently."""
+        mttkrp, gram, _, _ = make_problem(rng, rows=100)
+        mttkrp[:10] *= 50.0  # high-signal rows
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        report = blocked_admm_update(state, mttkrp, gram, NonNegative(),
+                                     block_size=10, tolerance=1e-8,
+                                     max_iterations=100)
+        assert len(report.block_iterations) == 10
+        assert len(set(report.block_iterations)) > 1
+
+    def test_thread_count_does_not_change_result(self, rng):
+        mttkrp, gram, _, _ = make_problem(rng, rows=50)
+        results = []
+        for threads in (1, 4):
+            state = AdmmState.from_factor(np.zeros_like(mttkrp))
+            blocked_admm_update(state, mttkrp, gram, NonNegative(),
+                                block_size=7, threads=threads)
+            results.append(state.primal.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_rejects_non_row_separable(self, rng):
+        class ColumnCoupled(Constraint):
+            row_separable = False
+            name = "coupled"
+
+            def prox(self, matrix, step):
+                return matrix
+
+            def penalty(self, matrix):
+                return 0.0
+
+        mttkrp, gram, _, _ = make_problem(rng)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        with pytest.raises(ValueError, match="not row separable"):
+            blocked_admm_update(state, mttkrp, gram, ColumnCoupled())
+
+    def test_report_accounting(self, rng):
+        mttkrp, gram, _, _ = make_problem(rng, rows=23)
+        state = AdmmState.from_factor(np.zeros_like(mttkrp))
+        report = blocked_admm_update(state, mttkrp, gram, NonNegative(),
+                                     block_size=10)
+        assert report.block_rows == (10, 10, 3)
+        assert report.total_row_iterations == sum(
+            r * i for r, i in zip(report.block_rows,
+                                  report.block_iterations))
+        assert report.iterations == max(report.block_iterations)
+
+
+class TestAdmmState:
+    def test_from_factor_zero_dual(self):
+        state = AdmmState.from_factor(np.ones((4, 2)))
+        np.testing.assert_array_equal(state.dual, 0.0)
+        assert state.rows == 4 and state.rank == 2
+
+    def test_copy_is_deep(self):
+        state = AdmmState.from_factor(np.ones((2, 2)))
+        clone = state.copy()
+        clone.primal[0, 0] = 99.0
+        assert state.primal[0, 0] == 1.0
+
+    def test_mismatched_dual_rejected(self):
+        with pytest.raises(ValueError):
+            AdmmState(np.ones((3, 2)), np.ones((2, 2)))

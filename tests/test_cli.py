@@ -1,0 +1,72 @@
+"""CLI tests: every subcommand end to end through ``main``."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tensor import random_coo, read_tns, write_tns
+
+
+@pytest.fixture
+def tns_file(tmp_path, small_tensor):
+    path = tmp_path / "t.tns"
+    write_tns(small_tensor, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_factorize_defaults(self):
+        args = build_parser().parse_args(["factorize", "x.tns"])
+        assert args.rank == 16
+        assert args.constraint == "nonneg"
+        assert not args.unblocked
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "bogus", "out.tns"])
+
+
+class TestCommands:
+    def test_stats(self, tns_file, capsys):
+        assert main(["stats", tns_file]) == 0
+        out = capsys.readouterr().out
+        assert "NNZ" in out and "density" in out
+
+    def test_factorize_and_save(self, tns_file, tmp_path, capsys):
+        out_npz = str(tmp_path / "factors.npz")
+        code = main(["factorize", tns_file, "--rank", "3",
+                     "--max-iterations", "3", "--output", out_npz,
+                     "--verbose"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "iter    1" in text and "stopped" in text
+        saved = np.load(out_npz)
+        assert set(saved.files) == {"mode0", "mode1", "mode2"}
+        assert saved["mode0"].shape == (12, 3)
+
+    def test_factorize_with_l1(self, tns_file, capsys):
+        code = main(["factorize", tns_file, "--rank", "3",
+                     "--constraint", "nonneg_l1", "--weight", "0.2",
+                     "--max-iterations", "2", "--repr", "auto"])
+        assert code == 0
+
+    def test_factorize_unblocked(self, tns_file):
+        assert main(["factorize", tns_file, "--rank", "2",
+                     "--max-iterations", "2", "--unblocked"]) == 0
+
+    def test_generate_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.tns")
+        assert main(["generate", "reddit", out, "--preset", "tiny",
+                     "--seed", "3"]) == 0
+        tensor = read_tns(out)
+        assert tensor.nnz > 0
+        assert tensor.nmodes == 3
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "patents", "--rank", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "blocked" in out and "T=20" in out

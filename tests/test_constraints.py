@@ -1,0 +1,219 @@
+"""Proximity operator tests: definitions, feasibility, registry."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    Box,
+    ElasticNet,
+    L1,
+    L2Squared,
+    NonNegative,
+    NonNegativeL1,
+    RowNormBall,
+    RowSimplex,
+    Unconstrained,
+    available_constraints,
+    make_constraint,
+    project_rows_simplex,
+)
+
+
+def prox_objective(constraint, candidate, v, step):
+    """The objective prox minimizes, evaluated at a candidate."""
+    return (constraint.penalty(candidate)
+            + np.sum((candidate - v) ** 2) / (2.0 * step))
+
+
+def assert_prox_optimal(constraint, v, step, rng, trials=60, scale=0.3):
+    """The prox output must beat random feasible perturbations."""
+    out = constraint.prox(v.copy(), step)
+    base = prox_objective(constraint, out, v, step)
+    for _ in range(trials):
+        cand = out + scale * rng.standard_normal(out.shape)
+        cand = constraint.prox(cand.copy(), 1e9)  # project ~feasible
+        assert prox_objective(constraint, cand, v, step) >= base - 1e-8
+
+
+class TestNonNegative:
+    def test_prox_clips(self):
+        v = np.array([[-1.0, 2.0], [0.5, -3.0]])
+        out = NonNegative().prox(v.copy(), 0.7)
+        np.testing.assert_allclose(out, [[0.0, 2.0], [0.5, 0.0]])
+
+    def test_penalty(self):
+        c = NonNegative()
+        assert c.penalty(np.array([[1.0]])) == 0.0
+        assert c.penalty(np.array([[-1.0]])) == np.inf
+
+    def test_prox_idempotent(self, rng):
+        c = NonNegative()
+        v = rng.standard_normal((6, 3))
+        once = c.prox(v.copy(), 1.0)
+        np.testing.assert_allclose(c.prox(once.copy(), 1.0), once)
+
+
+class TestL1:
+    def test_soft_threshold_values(self):
+        out = L1(weight=1.0).prox(np.array([[2.0, -2.0, 0.3]]), 0.5)
+        np.testing.assert_allclose(out, [[1.5, -1.5, 0.0]])
+
+    def test_penalty(self):
+        assert L1(0.5).penalty(np.array([[1.0, -2.0]])) == pytest.approx(1.5)
+
+    def test_zero_weight_is_identity(self, rng):
+        v = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(L1(0.0).prox(v.copy(), 1.0), v)
+
+    def test_induces_sparsity(self, rng):
+        v = 0.1 * rng.standard_normal((50, 8))
+        out = L1(1.0).prox(v.copy(), 1.0)
+        assert (out == 0).mean() > 0.9
+
+    def test_prox_is_optimal(self, rng):
+        v = rng.standard_normal((5, 3))
+        out = L1(0.4).prox(v.copy(), 0.8)
+        base = prox_objective(L1(0.4), out, v, 0.8)
+        for _ in range(50):
+            cand = out + 0.2 * rng.standard_normal(out.shape)
+            assert prox_objective(L1(0.4), cand, v, 0.8) >= base - 1e-9
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            L1(-1.0)
+
+
+class TestNonNegativeL1:
+    def test_prox_thresholds_and_clips(self):
+        out = NonNegativeL1(1.0).prox(np.array([[2.0, -0.5, 0.3]]), 0.5)
+        np.testing.assert_allclose(out, [[1.5, 0.0, 0.0]])
+
+    def test_penalty_infeasible(self):
+        c = NonNegativeL1(1.0)
+        assert c.penalty(np.array([[-0.1]])) == np.inf
+        assert c.penalty(np.array([[2.0]])) == pytest.approx(2.0)
+
+
+class TestL2AndElasticNet:
+    def test_l2_shrinks(self):
+        out = L2Squared(0.5).prox(np.array([[2.0]]), 1.0)
+        np.testing.assert_allclose(out, [[1.0]])
+
+    def test_l2_prox_closed_form_optimality(self, rng):
+        c = L2Squared(0.3)
+        v = rng.standard_normal((4, 2))
+        out = c.prox(v.copy(), 0.7)
+        # Stationarity: 2*w*out + (out - v)/step = 0
+        np.testing.assert_allclose(2 * 0.3 * out + (out - v) / 0.7, 0.0,
+                                   atol=1e-12)
+
+    def test_elastic_net_combines(self, rng):
+        v = rng.standard_normal((6, 3))
+        en = ElasticNet(l1=0.2, l2=0.1).prox(v.copy(), 0.5)
+        manual = L1(0.2).prox(v.copy(), 0.5)
+        manual = L2Squared(0.1).prox(manual, 0.5)
+        np.testing.assert_allclose(en, manual, atol=1e-12)
+
+    def test_elastic_net_penalty(self):
+        p = ElasticNet(l1=1.0, l2=2.0).penalty(np.array([[2.0]]))
+        assert p == pytest.approx(2.0 + 8.0)
+
+
+class TestBox:
+    def test_prox_clips_to_interval(self):
+        out = Box(0.0, 1.0).prox(np.array([[-0.5, 0.4, 2.0]]), 1.0)
+        np.testing.assert_allclose(out, [[0.0, 0.4, 1.0]])
+
+    def test_feasibility(self):
+        c = Box(-1.0, 1.0)
+        assert c.is_feasible(np.array([[0.5]]))
+        assert not c.is_feasible(np.array([[1.5]]))
+        assert c.penalty(np.array([[1.5]])) == np.inf
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Box(1.0, 0.0)
+
+
+class TestSimplex:
+    def test_projection_lands_on_simplex(self, rng):
+        v = rng.standard_normal((40, 6))
+        out = project_rows_simplex(v)
+        assert (out >= -1e-12).all()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_feasible_point_fixed(self):
+        v = np.array([[0.2, 0.3, 0.5]])
+        np.testing.assert_allclose(project_rows_simplex(v), v, atol=1e-12)
+
+    def test_projection_is_nearest_point(self, rng):
+        v = rng.standard_normal((1, 5))
+        out = project_rows_simplex(v)
+        base = np.sum((out - v) ** 2)
+        for _ in range(200):
+            cand = rng.dirichlet(np.ones(5))[None, :]
+            assert np.sum((cand - v) ** 2) >= base - 1e-10
+
+    def test_custom_radius(self, rng):
+        v = rng.standard_normal((10, 4))
+        out = project_rows_simplex(v, radius=2.5)
+        np.testing.assert_allclose(out.sum(axis=1), 2.5, atol=1e-9)
+
+    def test_constraint_wrapper(self, rng):
+        c = RowSimplex()
+        v = rng.standard_normal((7, 3))
+        out = c.prox(v.copy(), 0.1)
+        assert c.is_feasible(out)
+        assert c.penalty(out) == 0.0
+        assert c.penalty(v) == np.inf
+
+
+class TestRowNormBall:
+    def test_prox_rescales_only_violators(self):
+        v = np.array([[3.0, 4.0], [0.1, 0.1]])
+        out = RowNormBall(1.0).prox(v.copy(), 1.0)
+        np.testing.assert_allclose(np.linalg.norm(out[0]), 1.0)
+        np.testing.assert_allclose(out[1], [0.1, 0.1])
+
+    def test_feasibility(self):
+        c = RowNormBall(2.0)
+        assert c.is_feasible(np.array([[1.0, 1.0]]))
+        assert not c.is_feasible(np.array([[2.0, 2.0]]))
+
+
+class TestUnconstrained:
+    def test_identity_prox(self, rng):
+        v = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(Unconstrained().prox(v, 1.0), v)
+        assert Unconstrained().penalty(v) == 0.0
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_constraints():
+            c = make_constraint(name)
+            assert c.name in (name, "none")
+
+    def test_kwargs_forwarded(self):
+        c = make_constraint("l1", weight=0.25)
+        assert c.weight == 0.25
+
+    def test_instance_passthrough(self):
+        c = L1(0.5)
+        assert make_constraint(c) is c
+        with pytest.raises(ValueError):
+            make_constraint(c, weight=1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown constraint"):
+            make_constraint("nope")
+
+    def test_row_separability_flags(self):
+        """Everything is row separable except column smoothness — the
+        library's living example of Section IV-B's restriction."""
+        for name in available_constraints():
+            constraint = make_constraint(name)
+            if name == "smooth":
+                assert not constraint.row_separable
+            else:
+                assert constraint.row_separable, name

@@ -1,0 +1,169 @@
+"""Tests for the extended constraint set: monotone rows, row
+cardinality, and column smoothness."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    ColumnSmoothness,
+    MonotoneRows,
+    RowCardinality,
+    isotonic_projection_rows,
+    keep_top_k_rows,
+)
+
+
+class TestMonotoneRows:
+    def test_projection_is_monotone(self, rng):
+        v = rng.standard_normal((30, 8))
+        out = isotonic_projection_rows(v)
+        assert (np.diff(out, axis=1) >= -1e-12).all()
+
+    def test_monotone_input_unchanged(self):
+        v = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 5.0]])
+        np.testing.assert_allclose(isotonic_projection_rows(v), v)
+
+    def test_simple_pava_example(self):
+        # Classic: [3, 1, 2] -> pool(3,1)=2, then [2, 2, 2]? No:
+        # pool(3,1) = 2, next value 2 >= 2 so result [2, 2, 2].
+        out = isotonic_projection_rows(np.array([[3.0, 1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[2.0, 2.0, 2.0]])
+
+    def test_decreasing_row_becomes_mean(self):
+        out = isotonic_projection_rows(np.array([[4.0, 3.0, 2.0, 1.0]]))
+        np.testing.assert_allclose(out, [[2.5, 2.5, 2.5, 2.5]])
+
+    def test_projection_is_nearest_monotone_point(self, rng):
+        """Compare against a brute-force QP over random monotone points."""
+        v = rng.standard_normal((1, 5))
+        out = isotonic_projection_rows(v)
+        base = np.sum((out - v) ** 2)
+        for _ in range(300):
+            cand = np.sort(out + 0.3 * rng.standard_normal((1, 5)), axis=1)
+            assert np.sum((cand - v) ** 2) >= base - 1e-9
+
+    def test_mean_preserved(self, rng):
+        """PAVA pools preserve each row's mean."""
+        v = rng.standard_normal((20, 6))
+        out = isotonic_projection_rows(v)
+        np.testing.assert_allclose(out.mean(axis=1), v.mean(axis=1),
+                                   atol=1e-10)
+
+    def test_constraint_interface(self, rng):
+        c = MonotoneRows()
+        assert c.row_separable
+        v = rng.standard_normal((10, 4))
+        out = c.prox(v.copy(), 0.5)
+        assert c.is_feasible(out)
+        assert c.penalty(out) == 0.0
+        assert c.penalty(np.array([[2.0, 1.0]])) == np.inf
+
+    def test_single_column(self):
+        v = np.array([[3.0], [1.0]])
+        np.testing.assert_allclose(isotonic_projection_rows(v), v)
+
+
+class TestRowCardinality:
+    def test_keeps_k_largest(self):
+        v = np.array([[1.0, -5.0, 3.0, 0.5]])
+        out = keep_top_k_rows(v, 2)
+        np.testing.assert_allclose(out, [[0.0, -5.0, 3.0, 0.0]])
+
+    def test_k_at_least_width_is_identity(self, rng):
+        v = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(keep_top_k_rows(v, 3), v)
+        np.testing.assert_allclose(keep_top_k_rows(v, 10), v)
+
+    def test_constraint_feasibility(self):
+        c = RowCardinality(k=2)
+        assert c.is_feasible(np.array([[1.0, 0.0, 2.0]]))
+        assert not c.is_feasible(np.array([[1.0, 1.0, 2.0]]))
+        assert c.penalty(np.array([[1.0, 1.0, 2.0]])) == np.inf
+
+    def test_prox_output_feasible(self, rng):
+        c = RowCardinality(k=3)
+        out = c.prox(rng.standard_normal((40, 10)), 1.0)
+        assert c.is_feasible(out)
+
+    def test_nonneg_variant(self, rng):
+        c = RowCardinality(k=2, nonneg=True)
+        out = c.prox(rng.standard_normal((20, 6)), 1.0)
+        assert (out >= 0).all()
+        assert ((out > 0).sum(axis=1) <= 2).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RowCardinality(k=0)
+
+    def test_works_in_blocked_solver(self, rng):
+        """Nonconvex but row separable: the blocked solver accepts it."""
+        from repro.admm import AdmmState, blocked_admm_update
+        w = rng.standard_normal((20, 4))
+        gram = w.T @ w + np.eye(4)
+        mttkrp = rng.standard_normal((30, 4))
+        state = AdmmState.from_factor(np.zeros((30, 4)))
+        report = blocked_admm_update(state, mttkrp, gram,
+                                     RowCardinality(k=2), block_size=7)
+        assert ((np.abs(state.primal) > 0).sum(axis=1) <= 2).all()
+
+
+class TestColumnSmoothness:
+    def test_prox_solves_the_tridiagonal_system(self, rng):
+        c = ColumnSmoothness(weight=2.0)
+        n = 15
+        v = rng.standard_normal((n, 3))
+        out = c.prox(v.copy(), 0.5)
+        # Verify (I + w*s*D^T D) out = v directly.
+        d = np.diff(np.eye(n), axis=0)
+        system = np.eye(n) + 2.0 * 0.5 * d.T @ d
+        np.testing.assert_allclose(system @ out, v, atol=1e-9)
+
+    def test_prox_smooths(self, rng):
+        c = ColumnSmoothness(weight=50.0)
+        v = rng.standard_normal((40, 2))
+        out = c.prox(v.copy(), 1.0)
+        rough_in = np.abs(np.diff(v, axis=0)).sum()
+        rough_out = np.abs(np.diff(out, axis=0)).sum()
+        assert rough_out < 0.2 * rough_in
+
+    def test_penalty_value(self):
+        c = ColumnSmoothness(weight=2.0)
+        v = np.array([[0.0], [1.0], [3.0]])
+        assert c.penalty(v) == pytest.approx(0.5 * 2.0 * (1.0 + 4.0))
+
+    def test_zero_weight_identity(self, rng):
+        v = rng.standard_normal((6, 2))
+        np.testing.assert_allclose(ColumnSmoothness(0.0).prox(v, 1.0), v)
+
+    def test_not_row_separable_and_refused_by_blocked(self, rng):
+        from repro.admm import AdmmState, blocked_admm_update
+        c = ColumnSmoothness()
+        assert not c.row_separable
+        state = AdmmState.from_factor(np.zeros((10, 3)))
+        with pytest.raises(ValueError, match="row separable"):
+            blocked_admm_update(state, np.zeros((10, 3)), np.eye(3), c)
+
+    def test_full_admm_accepts_it(self, rng):
+        """The unblocked Algorithm 1 handles non-separable penalties."""
+        from repro.admm import AdmmState, admm_update
+        w = rng.standard_normal((25, 3))
+        gram = w.T @ w + np.eye(3)
+        mttkrp = rng.standard_normal((12, 3))
+        state = AdmmState.from_factor(np.zeros((12, 3)))
+        report = admm_update(state, mttkrp, gram, ColumnSmoothness(0.5),
+                             max_iterations=100, tolerance=1e-8)
+        assert np.isfinite(state.primal).all()
+
+    def test_driver_with_smoothness_unblocked(self, small_tensor):
+        from repro import AOADMMOptions, fit_aoadmm
+        res = fit_aoadmm(small_tensor, AOADMMOptions(
+            rank=3, constraints=["nonneg", ColumnSmoothness(0.1),
+                                 "nonneg"],
+            blocked=False, seed=1, max_outer_iterations=5))
+        assert np.isfinite(res.relative_error)
+
+    def test_driver_with_smoothness_blocked_refused(self, small_tensor):
+        from repro import AOADMMOptions, fit_aoadmm
+        with pytest.raises(ValueError, match="row separable"):
+            fit_aoadmm(small_tensor, AOADMMOptions(
+                rank=3, constraints=ColumnSmoothness(), blocked=True))

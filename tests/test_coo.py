@@ -1,0 +1,146 @@
+"""Unit tests for the COO tensor substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, random_coo
+from repro.tensor.coo import COOTensor as COODirect
+
+
+class TestConstruction:
+    def test_from_arrays_infers_shape(self):
+        t = COOTensor.from_arrays(
+            [np.array([0, 2]), np.array([1, 3])], np.array([1.0, 2.0]))
+        assert t.shape == (3, 4)
+        assert t.nnz == 2
+
+    def test_from_arrays_explicit_shape(self):
+        t = COOTensor.from_arrays(
+            [np.array([0]), np.array([0])], np.array([5.0]), shape=(10, 20))
+        assert t.shape == (10, 20)
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOTensor(np.array([[0, 5]]), np.array([1.0, 1.0]), (3,))
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError, match="negative"):
+            COOTensor(np.array([[-1]]), np.array([1.0]), (3,))
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValueError, match="expected 2 values"):
+            COOTensor(np.array([[0, 1]]), np.array([1.0]), (3,))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="non-positive extent"):
+            COOTensor(np.empty((2, 0)), np.empty(0), (3, 0))
+
+    def test_dense_round_trip(self):
+        dense = np.zeros((3, 4, 2))
+        dense[0, 1, 0] = 2.5
+        dense[2, 3, 1] = -1.0
+        t = COOTensor.from_dense(dense)
+        assert t.nnz == 2
+        np.testing.assert_allclose(t.to_dense(), dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[0.5, 1e-12], [0.0, 2.0]])
+        t = COOTensor.from_dense(dense, tol=1e-9)
+        assert t.nnz == 2
+
+
+class TestProperties:
+    def test_density(self):
+        t = COOTensor.from_arrays([np.array([0]), np.array([0])],
+                                  np.array([1.0]), shape=(2, 5))
+        assert t.density == pytest.approx(0.1)
+
+    def test_norm_matches_dense(self, small_tensor):
+        dense = small_tensor.to_dense()
+        assert small_tensor.norm() == pytest.approx(np.linalg.norm(dense))
+        assert small_tensor.norm_squared() == pytest.approx(
+            np.linalg.norm(dense) ** 2)
+
+    def test_slice_counts(self):
+        t = COOTensor.from_arrays(
+            [np.array([0, 0, 2]), np.array([0, 1, 2])],
+            np.ones(3), shape=(3, 3))
+        np.testing.assert_array_equal(t.mode_slice_counts(0), [2, 0, 1])
+        np.testing.assert_array_equal(t.nonempty_slices(0), [0, 2])
+
+
+class TestReorganization:
+    def test_sort_lex_orders_primary_mode_first(self):
+        t = COOTensor.from_arrays(
+            [np.array([2, 0, 1]), np.array([0, 1, 2])],
+            np.array([1.0, 2.0, 3.0]))
+        s = t.sort_lex()
+        np.testing.assert_array_equal(s.coords[0], [0, 1, 2])
+        np.testing.assert_array_equal(s.vals, [2.0, 3.0, 1.0])
+
+    def test_sort_lex_custom_order(self):
+        t = COOTensor.from_arrays(
+            [np.array([0, 1]), np.array([1, 0])], np.array([1.0, 2.0]))
+        s = t.sort_lex(mode_order=(1, 0))
+        np.testing.assert_array_equal(s.coords[1], [0, 1])
+
+    def test_sort_rejects_non_permutation(self, small_tensor):
+        with pytest.raises(ValueError, match="not a permutation"):
+            small_tensor.sort_lex((0, 0, 1))
+
+    def test_deduplicate_sums(self):
+        t = COOTensor.from_arrays(
+            [np.array([1, 1, 0]), np.array([2, 2, 0])],
+            np.array([1.0, 3.0, 5.0]))
+        d = t.deduplicate()
+        assert d.nnz == 2
+        dense = d.to_dense()
+        assert dense[1, 2] == pytest.approx(4.0)
+        assert dense[0, 0] == pytest.approx(5.0)
+
+    def test_permute_modes_transposes(self, small_tensor):
+        p = small_tensor.permute_modes((2, 0, 1))
+        assert p.shape == (small_tensor.shape[2], small_tensor.shape[0],
+                           small_tensor.shape[1])
+        np.testing.assert_allclose(
+            p.to_dense(), np.transpose(small_tensor.to_dense(), (2, 0, 1)))
+
+    def test_drop_zeros(self):
+        t = COOTensor.from_arrays(
+            [np.array([0, 1]), np.array([0, 1])], np.array([0.0, 2.0]))
+        assert t.drop_zeros().nnz == 1
+
+    def test_equality_ignores_order_and_duplicates(self):
+        a = COOTensor.from_arrays(
+            [np.array([1, 0]), np.array([1, 0])], np.array([2.0, 1.0]),
+            shape=(2, 2))
+        b = COOTensor.from_arrays(
+            [np.array([0, 1, 1]), np.array([0, 1, 1])],
+            np.array([1.0, 1.0, 1.0]), shape=(2, 2))
+        assert a == b
+
+    def test_unhashable(self, small_tensor):
+        with pytest.raises(TypeError):
+            hash(small_tensor)
+
+
+class TestRandom:
+    def test_random_coo_is_seed_deterministic(self):
+        a = random_coo((5, 6, 7), 40, seed=3)
+        b = random_coo((5, 6, 7), 40, seed=3)
+        assert a == b
+
+    def test_random_coo_value_dists(self):
+        for dist in ("uniform", "normal", "ones"):
+            t = random_coo((8, 8), 20, seed=1, value_dist=dist)
+            assert t.nnz > 0
+        with pytest.raises(ValueError):
+            random_coo((8, 8), 5, seed=1, value_dist="bogus")
+
+    def test_sample_nonzeros(self, small_tensor):
+        sub = small_tensor.sample_nonzeros(10, seed=0)
+        assert sub.nnz == 10
+        dense_full = small_tensor.to_dense()
+        dense_sub = sub.to_dense()
+        mask = dense_sub != 0
+        np.testing.assert_allclose(dense_sub[mask], dense_full[mask])

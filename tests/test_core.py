@@ -1,0 +1,206 @@
+"""CPModel, init, convergence, options, and trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AOADMMOptions,
+    ConvergenceCriterion,
+    CPModel,
+    FactorizationTrace,
+    factor_match_score,
+    init_factors,
+)
+from repro.core.trace import OuterIterationRecord
+from repro.constraints import L1, NonNegative
+from repro.tensor import COOTensor, random_coo
+from repro.tensor.dense import dense_from_factors
+from repro.tensor.random import random_factors
+
+
+class TestCPModel:
+    def test_relative_error_matches_dense(self, small_tensor, nonneg_factors):
+        model = CPModel([f.copy() for f in nonneg_factors])
+        dense = small_tensor.to_dense()
+        recon = model.to_dense()
+        expected = np.linalg.norm(dense - recon) / np.linalg.norm(dense)
+        assert model.relative_error(small_tensor) == pytest.approx(
+            expected, rel=1e-8)
+
+    def test_exact_model_zero_error(self):
+        factors = random_factors((8, 7, 6), 3, seed=4)
+        dense = dense_from_factors(factors)
+        tensor = COOTensor.from_dense(dense)
+        model = CPModel([f.copy() for f in factors])
+        assert model.relative_error(tensor) < 1e-12
+
+    def test_weights_fold_into_reconstruction(self):
+        factors = random_factors((5, 4, 3), 2, seed=7)
+        weights = np.array([2.0, 0.5])
+        model = CPModel([f.copy() for f in factors], weights)
+        np.testing.assert_allclose(
+            model.to_dense(), dense_from_factors(factors, weights))
+
+    def test_norm_squared_matches_dense(self, nonneg_factors):
+        model = CPModel([f.copy() for f in nonneg_factors])
+        assert model.norm_squared() == pytest.approx(
+            np.linalg.norm(model.to_dense()) ** 2, rel=1e-10)
+
+    def test_values_at(self, small_tensor, nonneg_factors):
+        model = CPModel([f.copy() for f in nonneg_factors])
+        vals = model.values_at(small_tensor.coords)
+        dense = model.to_dense()
+        np.testing.assert_allclose(
+            vals, dense[tuple(small_tensor.coords)], atol=1e-12)
+
+    def test_normalized_preserves_reconstruction(self, nonneg_factors):
+        model = CPModel([f.copy() for f in nonneg_factors])
+        np.testing.assert_allclose(model.normalized().to_dense(),
+                                   model.to_dense(), atol=1e-10)
+
+    def test_factor_density(self):
+        a = np.array([[1.0, 0.0], [0.0, 0.0]])
+        model = CPModel([a, np.ones((3, 2))])
+        assert model.factor_density(0) == pytest.approx(0.25)
+        assert model.factor_density(1) == 1.0
+
+    def test_component_order(self):
+        factors = [np.array([[10.0, 0.1]]), np.array([[1.0, 1.0]])]
+        model = CPModel(factors)
+        np.testing.assert_array_equal(model.component_order(), [0, 1])
+
+
+class TestFactorMatchScore:
+    def test_identical_models(self):
+        factors = random_factors((6, 5, 4), 3, seed=1)
+        assert factor_match_score(factors, factors) == pytest.approx(1.0)
+
+    def test_permutation_and_scaling_invariance(self):
+        factors = random_factors((6, 5, 4), 3, seed=2)
+        perm = [2, 0, 1]
+        scaled = [f[:, perm] * np.array([2.0, 0.5, 3.0]) for f in factors]
+        assert factor_match_score(factors, scaled) == pytest.approx(
+            1.0, abs=1e-10)
+
+    def test_unrelated_models_score_low(self):
+        a = random_factors((50, 40, 30), 4, seed=3)
+        b = random_factors((50, 40, 30), 4, seed=99)
+        assert factor_match_score(a, b) < 0.8
+
+
+class TestInit:
+    @pytest.mark.parametrize("method", ["uniform", "normal", "hosvd"])
+    def test_shapes_and_determinism(self, small_tensor, method):
+        a = init_factors(small_tensor, 4, method, seed=5)
+        b = init_factors(small_tensor, 4, method, seed=5)
+        for fa, fb, extent in zip(a, b, small_tensor.shape):
+            assert fa.shape == (extent, 4)
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_initial_model_norm_matches_tensor(self, small_tensor):
+        factors = init_factors(small_tensor, 4, "uniform", seed=1)
+        model = CPModel(factors)
+        assert model.norm_squared() == pytest.approx(
+            small_tensor.norm_squared(), rel=1e-6)
+
+    def test_hosvd_rank_exceeds_mode(self):
+        tensor = random_coo((3, 20, 20), 60, seed=2)
+        factors = init_factors(tensor, 8, "hosvd", seed=0)
+        assert factors[0].shape == (3, 8)
+
+    def test_unknown_method(self, small_tensor):
+        with pytest.raises(ValueError):
+            init_factors(small_tensor, 3, "bogus")
+
+
+class TestConvergence:
+    def test_stops_on_small_improvement(self):
+        crit = ConvergenceCriterion(tolerance=1e-3, max_iterations=100)
+        assert not crit.update(1.0)
+        assert not crit.update(0.5)
+        assert crit.update(0.4999)
+        assert crit.reason == "tolerance"
+
+    def test_stops_on_worsening(self):
+        crit = ConvergenceCriterion(tolerance=1e-6, max_iterations=100)
+        crit.update(0.5)
+        assert crit.update(0.6)
+
+    def test_max_iterations(self):
+        crit = ConvergenceCriterion(tolerance=0.0, max_iterations=3)
+        assert not crit.update(3.0)
+        assert not crit.update(2.0)
+        assert crit.update(1.0)
+        assert crit.reason == "max_iterations"
+
+
+class TestOptions:
+    def test_defaults_follow_paper(self):
+        opts = AOADMMOptions()
+        assert opts.block_size == 50
+        assert opts.max_outer_iterations == 200
+        assert opts.outer_tolerance == 1e-6
+        assert opts.blocked
+
+    def test_resolve_single_constraint_spec(self):
+        opts = AOADMMOptions(constraints="nonneg")
+        out = opts.resolve_constraints(3)
+        assert len(out) == 3
+        assert all(isinstance(c, NonNegative) for c in out)
+
+    def test_resolve_per_mode_list(self):
+        opts = AOADMMOptions(constraints=["nonneg", L1(0.1), "none"])
+        out = opts.resolve_constraints(3)
+        assert out[1].weight == 0.1
+
+    def test_resolve_wrong_length(self):
+        opts = AOADMMOptions(constraints=["nonneg", "nonneg"])
+        with pytest.raises(ValueError):
+            opts.resolve_constraints(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AOADMMOptions(rank=0)
+        with pytest.raises(ValueError):
+            AOADMMOptions(inner_tolerance=0.0)
+
+
+def _record(i, err, m=1.0, a=0.5, o=0.1):
+    return OuterIterationRecord(
+        iteration=i, relative_error=err, mttkrp_seconds=m, admm_seconds=a,
+        other_seconds=o, inner_iterations=(2, 2, 2),
+        factor_densities=(1.0, 1.0, 1.0),
+        representations=("dense", "dense", "dense"))
+
+
+class TestTrace:
+    def test_series_extraction(self):
+        trace = FactorizationTrace()
+        trace.setup_seconds = 0.5
+        trace.append(_record(1, 0.9))
+        trace.append(_record(2, 0.8))
+        np.testing.assert_allclose(trace.errors(), [0.9, 0.8])
+        np.testing.assert_allclose(trace.cumulative_seconds(),
+                                   [0.5 + 1.6, 0.5 + 3.2])
+        assert trace.final_error() == 0.8
+
+    def test_time_fractions_sum_to_one(self):
+        trace = FactorizationTrace()
+        trace.append(_record(1, 0.9))
+        fr = trace.time_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["mttkrp"] == pytest.approx(1.0 / 1.6)
+
+    def test_empty_trace(self):
+        trace = FactorizationTrace()
+        assert np.isnan(trace.final_error())
+        assert trace.time_fractions()["mttkrp"] == 0.0
+
+    def test_error_vs_series(self):
+        trace = FactorizationTrace()
+        trace.append(_record(1, 0.9))
+        trace.append(_record(2, 0.8))
+        xs, ys = trace.error_vs_iteration()
+        np.testing.assert_array_equal(xs, [1, 2])
+        ts, ys2 = trace.error_vs_time()
+        assert ts[1] > ts[0]

@@ -1,0 +1,106 @@
+"""Unit tests for the CSF data structure."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, CSFTensor, random_coo
+from repro.tensor.csf import AllModeCSF, default_mode_order
+
+
+class TestConstruction:
+    def test_round_trip_default_order(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert csf.to_coo() == small_tensor
+
+    @pytest.mark.parametrize("order", [(0, 1, 2), (1, 0, 2), (2, 1, 0),
+                                       (1, 2, 0)])
+    def test_round_trip_any_order(self, small_tensor, order):
+        csf = CSFTensor.from_coo(small_tensor, order)
+        assert csf.to_coo() == small_tensor
+
+    def test_round_trip_four_modes(self, four_mode_tensor):
+        csf = CSFTensor.from_coo(four_mode_tensor, (2, 0, 3, 1))
+        assert csf.to_coo() == four_mode_tensor
+
+    def test_rejects_bad_order(self, small_tensor):
+        with pytest.raises(ValueError, match="permutation"):
+            CSFTensor.from_coo(small_tensor, (0, 0, 1))
+
+    def test_empty_tensor(self):
+        t = COOTensor(np.empty((3, 0), dtype=np.int64), np.empty(0),
+                      (4, 5, 6))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_matrix_csf_matches_csr_structure(self):
+        # A 2-mode CSF is exactly CSR: roots = rows, leaves = entries.
+        t = COOTensor.from_arrays(
+            [np.array([0, 0, 2]), np.array([1, 3, 0])],
+            np.array([1.0, 2.0, 3.0]), shape=(3, 4))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nslices == 2  # rows 0 and 2
+        np.testing.assert_array_equal(csf.fids[0], [0, 2])
+        np.testing.assert_array_equal(csf.fptr[0], [0, 2, 3])
+        np.testing.assert_array_equal(csf.fids[1], [1, 3, 0])
+
+
+class TestStructure:
+    def test_node_counts_decrease_toward_root(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        counts = [csf.nnodes(l) for l in range(csf.nmodes)]
+        assert counts[-1] == small_tensor.nnz
+        assert all(counts[i] <= counts[i + 1] for i in range(len(counts) - 1))
+
+    def test_fptr_covers_children_exactly(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        for level in range(csf.nmodes - 1):
+            fptr = csf.fptr[level]
+            assert fptr[0] == 0
+            assert fptr[-1] == csf.nnodes(level + 1)
+            assert (np.diff(fptr) >= 1).all()  # no empty nodes
+
+    def test_fibers_and_slices(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert csf.nslices == len(np.unique(small_tensor.coords[0]))
+        # Fibers = distinct (i, j) pairs.
+        pairs = set(zip(small_tensor.coords[0], small_tensor.coords[1]))
+        assert csf.nfibers == len(pairs)
+
+    def test_storage_bytes_positive(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert csf.storage_bytes() > small_tensor.nnz * 8
+
+    def test_expand_to_level(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        ones = np.ones(csf.nnodes(0))
+        leaves = csf.expand_to_level(ones, 0, csf.nmodes - 1)
+        assert leaves.shape[0] == csf.nnz
+
+    def test_duplicate_coordinates_become_duplicate_leaves(self):
+        t = COOTensor.from_arrays(
+            [np.array([0, 0]), np.array([1, 1]), np.array([2, 2])],
+            np.array([1.0, 2.0]), shape=(1, 2, 3))
+        csf = CSFTensor.from_coo(t)
+        assert csf.nnz == 2  # not merged: caller must deduplicate
+
+
+class TestAllMode:
+    def test_lazy_build_and_cache(self, small_tensor):
+        trees = AllModeCSF(small_tensor)
+        a = trees.csf(1)
+        b = trees.csf(1)
+        assert a is b
+        assert a.mode_order[0] == 1
+
+    def test_build_all(self, small_tensor):
+        trees = AllModeCSF(small_tensor).build_all()
+        assert trees.storage_bytes() > 0
+        for m in range(3):
+            assert trees.csf(m).mode_order == default_mode_order(3, m)
+
+    def test_default_mode_order(self):
+        assert default_mode_order(4, 2) == (2, 0, 1, 3)
+        assert default_mode_order(3, 0) == (0, 1, 2)
+        with pytest.raises(ValueError):
+            default_mode_order(3, 5)

@@ -1,0 +1,150 @@
+"""Distributed AO-ADMM tests: exactness vs the shared-memory solver,
+partition invariants, and communication accounting."""
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm, init_factors
+from repro.distributed import (
+    SimComm,
+    fit_aoadmm_distributed,
+    partition_tensor,
+)
+from repro.distributed.partition import row_ranges
+from repro.tensor import random_coo
+
+
+@pytest.fixture
+def tensor():
+    return random_coo((40, 30, 25), 1500, seed=3)
+
+
+class TestSimComm:
+    def test_allreduce_sums(self):
+        comm = SimComm(3)
+        parts = [np.full((2, 2), float(i)) for i in range(3)]
+        out = comm.allreduce_sum(parts)
+        np.testing.assert_allclose(out, 3.0)
+        assert comm.log.count("allreduce") == 1
+        assert comm.log.total_bytes() > 0
+
+    def test_allgather_concatenates(self):
+        comm = SimComm(2)
+        out = comm.allgather_rows([np.zeros((2, 3)), np.ones((1, 3))])
+        assert out.shape == (3, 3)
+        np.testing.assert_allclose(out[2], 1.0)
+
+    def test_single_rank_free_communication(self):
+        comm = SimComm(1)
+        comm.allreduce_sum([np.ones((2, 2))])
+        assert comm.log.total_seconds() == 0.0
+
+    def test_time_model_scales_with_bytes(self):
+        fast = SimComm(4, latency=0.0, bandwidth=1e9)
+        fast.allreduce_sum([np.ones(1000) for _ in range(4)])
+        big = SimComm(4, latency=0.0, bandwidth=1e9)
+        big.allreduce_sum([np.ones(100000) for _ in range(4)])
+        assert big.log.total_seconds() > fast.log.total_seconds()
+
+    def test_wrong_contribution_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimComm(2).allreduce_sum([np.ones(2)])
+
+
+class TestPartition:
+    def test_row_ranges_cover_and_align(self):
+        ranges = row_ranges(1000, 4, block_size=50)
+        assert ranges[0].start == 0 and ranges[-1].stop == 1000
+        for i in range(1, 4):
+            assert ranges[i].start == ranges[i - 1].stop
+            assert ranges[i].start % 50 == 0
+
+    def test_row_ranges_tiny_rows(self):
+        ranges = row_ranges(3, 4, block_size=50)
+        assert ranges[-1].stop == 3
+        assert sum(r.stop - r.start for r in ranges) == 3
+
+    def test_shards_partition_nonzeros(self, tensor):
+        part = partition_tensor(tensor, 3)
+        assert sum(part.shard_nnz()) == tensor.nnz
+        # Shards are disjoint in mode-0 ranges.
+        seen = set()
+        for shard in part.shards:
+            rows = set(np.unique(shard.coords[0]).tolist())
+            assert not (rows & seen)
+            seen |= rows
+
+    def test_shards_keep_global_shape(self, tensor):
+        part = partition_tensor(tensor, 3)
+        for shard in part.shards:
+            assert shard.shape == tensor.shape
+
+    def test_balance(self, tensor):
+        part = partition_tensor(tensor, 4)
+        assert part.imbalance() < 2.0
+
+    def test_single_rank(self, tensor):
+        part = partition_tensor(tensor, 1)
+        assert part.size == 1
+        assert part.shards[0] == tensor.sort_lex()
+
+
+class TestDistributedDriver:
+    def test_matches_shared_memory_blocked_exactly(self, tensor):
+        """Distribution must not change the numerics at all."""
+        opts = AOADMMOptions(rank=4, constraints="nonneg", blocked=True,
+                             block_size=8, seed=7, max_outer_iterations=6,
+                             outer_tolerance=0.0)
+        init = init_factors(tensor, 4, "uniform", seed=7)
+        serial = fit_aoadmm(tensor, opts, initial_factors=init)
+        dist = fit_aoadmm_distributed(tensor, opts, ranks=3,
+                                      initial_factors=init)
+        np.testing.assert_allclose(dist.trace.errors(),
+                                   serial.trace.errors(), rtol=1e-10)
+        for a, b in zip(dist.model.factors, serial.model.factors):
+            np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_rank_count_invariance(self, tensor):
+        opts = AOADMMOptions(rank=3, constraints="nonneg", block_size=5,
+                             seed=1, max_outer_iterations=4,
+                             outer_tolerance=0.0)
+        init = init_factors(tensor, 3, "uniform", seed=1)
+        errs = []
+        for ranks in (1, 2, 4):
+            res = fit_aoadmm_distributed(tensor, opts, ranks=ranks,
+                                         initial_factors=init)
+            errs.append(res.trace.errors())
+        np.testing.assert_allclose(errs[0], errs[1], rtol=1e-10)
+        np.testing.assert_allclose(errs[0], errs[2], rtol=1e-10)
+
+    def test_communication_pattern(self, tensor):
+        """One allreduce + one allgather per mode per outer iteration —
+        the paper's 'no communication beyond MTTKRP' claim."""
+        opts = AOADMMOptions(rank=3, seed=1, max_outer_iterations=3,
+                             outer_tolerance=0.0)
+        res = fit_aoadmm_distributed(tensor, opts, ranks=4)
+        expected = 3 * tensor.nmodes
+        assert res.comm_log.count("allreduce") == expected
+        assert res.comm_log.count("allgather") == expected
+
+    def test_accounting_fields(self, tensor):
+        res = fit_aoadmm_distributed(
+            tensor, AOADMMOptions(rank=3, seed=1, max_outer_iterations=2,
+                                  outer_tolerance=0.0), ranks=2)
+        assert len(res.rank_compute_seconds) == 2
+        assert all(s > 0 for s in res.rank_compute_seconds)
+        assert res.estimated_parallel_seconds() > 0
+        assert res.estimated_speedup() >= 1.0
+
+    def test_rejects_unblocked(self, tensor):
+        with pytest.raises(ValueError, match="blocked"):
+            fit_aoadmm_distributed(
+                tensor, AOADMMOptions(rank=3, blocked=False), ranks=2)
+
+    def test_custom_comm(self, tensor):
+        comm = SimComm(2, latency=1e-3, bandwidth=1e6)  # slow network
+        res = fit_aoadmm_distributed(
+            tensor, AOADMMOptions(rank=3, seed=1, max_outer_iterations=2,
+                                  outer_tolerance=0.0),
+            ranks=2, comm=comm)
+        assert res.comm_log.total_seconds() > 1e-3

@@ -1,0 +1,37 @@
+"""Smoke checks: every example script imports cleanly and exposes main().
+
+Execution is covered manually / by CI jobs with longer budgets; the unit
+suite guards against bit-rot (broken imports, renamed API).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclass/typing machinery inside can resolve the module.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} lacks main()"
+        assert callable(module.main)
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    required = {"quickstart", "recommender_communities", "sparse_topics",
+                "anomaly_detection", "constraints_gallery", "nmf_matrix",
+                "scaling_study"}
+    assert required <= names

@@ -1,0 +1,66 @@
+"""End-to-end four-mode support through the Enron-like corpus."""
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.datasets import generate_dataset, get_spec
+from repro.datasets.registry import all_dataset_names
+from repro.kernels import mttkrp_coo_reference
+from repro.kernels.dispatch import MTTKRPEngine
+from repro.machine import FactorizationWorkload, speedup_curve
+
+
+@pytest.fixture(scope="module")
+def enron_tiny():
+    tensor, truth = generate_dataset("enron", "tiny", seed=77)
+    return tensor, truth
+
+
+class TestRegistry:
+    def test_enron_registered_but_not_in_table1(self):
+        assert "enron" in all_dataset_names()
+        from repro.datasets import dataset_names
+        assert "enron" not in dataset_names()
+
+    def test_spec_is_four_mode(self):
+        spec = get_spec("enron")
+        assert len(spec.full_shape) == 4
+        assert len(spec.zipf_exponents) == 4
+
+
+class TestFourModeEndToEnd:
+    def test_generation(self, enron_tiny):
+        tensor, truth = enron_tiny
+        assert tensor.nmodes == 4
+        assert tensor.nnz > 0
+        assert len(truth) == 4
+
+    def test_engine_mttkrp_all_modes(self, enron_tiny):
+        tensor, _ = enron_tiny
+        small = tensor.sample_nonzeros(min(400, tensor.nnz), seed=1)
+        gen = np.random.default_rng(1)
+        factors = [gen.uniform(0, 1, (s, 3)) for s in small.shape]
+        engine = MTTKRPEngine(small)
+        for mode in range(4):
+            ref = mttkrp_coo_reference(small, factors, mode)
+            np.testing.assert_allclose(engine.mttkrp(factors, mode), ref,
+                                       atol=1e-9)
+
+    def test_factorization_runs(self, enron_tiny):
+        tensor, _ = enron_tiny
+        res = fit_aoadmm(tensor, AOADMMOptions(
+            rank=8, constraints="nonneg", seed=3,
+            max_outer_iterations=8, outer_tolerance=0.0))
+        errs = res.trace.errors()
+        assert errs[-1] <= errs[0]
+        assert len(res.model.factors) == 4
+        for f in res.model.factors:
+            assert (f >= 0).all()
+
+    def test_machine_workload_four_modes(self):
+        wl = FactorizationWorkload.from_spec("enron", rank=16)
+        assert len(wl.modes) == 4
+        curve = speedup_curve(wl, blocked=True, threads=(1, 20))
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[20] > 4.0

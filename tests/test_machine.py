@@ -1,0 +1,215 @@
+"""Simulated-machine tests: spec, cache model, kernel costs, speedups."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    FactorizationWorkload,
+    KernelCost,
+    MachineSpec,
+    PAPER_MACHINE,
+    admm_baseline_cost,
+    admm_blocked_cost,
+    blocked_traffic,
+    factorization_time,
+    kernel_time,
+    miss_rate,
+    mttkrp_kernel_cost,
+    speedup_curve,
+    streaming_traffic,
+)
+
+
+class TestSpec:
+    def test_bandwidth_monotone_and_capped(self):
+        m = PAPER_MACHINE
+        prev = 0.0
+        for t in range(1, 21):
+            bw = m.bandwidth(t, "read")
+            assert bw >= prev
+            prev = bw
+        assert m.bandwidth(20, "read") <= m.read_bandwidth_peak
+        assert m.bandwidth(1, "read") == m.read_bandwidth_single
+
+    def test_stream_bandwidth_saturates_lower(self):
+        m = PAPER_MACHINE
+        assert m.bandwidth(20, "stream") < m.bandwidth(20, "read")
+
+    def test_barrier_cost_grows_with_threads(self):
+        m = PAPER_MACHINE
+        assert m.barrier_cost(1) == 0.0
+        assert m.barrier_cost(20) > m.barrier_cost(2) > 0.0
+
+    def test_flops_scale_linearly(self):
+        m = PAPER_MACHINE
+        assert m.flops(10) == pytest.approx(10 * m.peak_flops_per_core)
+        assert m.flops(10, 0.5) == pytest.approx(5 * m.peak_flops_per_core)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(read_bandwidth_single=10e9, read_bandwidth_peak=1e9)
+
+
+class TestCacheModel:
+    def test_miss_rate_floor_when_resident(self):
+        assert miss_rate(1e6, 50e6) == pytest.approx(0.02)
+
+    def test_miss_rate_grows_then_caps(self):
+        small = miss_rate(100e6, 50e6)
+        large = miss_rate(10e9, 50e6)
+        assert 0.02 < small < large <= 0.5
+
+    def test_streaming_traffic(self):
+        # Fits in cache: one fetch regardless of passes.
+        assert streaming_traffic(1e6, 10, 50e6) == 1e6
+        # Exceeds cache: every pass pays.
+        assert streaming_traffic(1e9, 10, 50e6) == 1e10
+
+    def test_blocked_traffic_first_touch_only(self):
+        # 50-row blocks are tiny: traffic = block_bytes * n_blocks.
+        out = blocked_traffic(2e4, 1000, 10, 50e6, threads_sharing=20)
+        assert out == pytest.approx(2e7)
+
+    def test_blocked_traffic_overflow(self):
+        big = blocked_traffic(10e6, 10, 10, 50e6, threads_sharing=20)
+        assert big > 10e6 * 10  # re-fetches the overflow every iteration
+
+
+class TestKernelCosts:
+    def test_mttkrp_cost_totals(self):
+        slice_nnz = np.array([100.0, 200.0, 700.0])
+        slice_fibers = np.array([10.0, 20.0, 70.0])
+        cost = mttkrp_kernel_cost(slice_nnz, slice_fibers, rank=10,
+                                  leaf_rows=1000, mid_rows=100,
+                                  machine=PAPER_MACHINE)
+        assert cost.flops == pytest.approx(2 * 10 * (1000 + 100))
+        assert cost.dram_bytes > 0
+        assert cost.traffic_kind == "read"
+
+    def test_mttkrp_csr_reduces_traffic_adds_latency(self):
+        slice_nnz = np.full(100, 1e5)
+        slice_fibers = np.full(100, 1e4)
+        dense = mttkrp_kernel_cost(slice_nnz, slice_fibers, 50,
+                                   10_000_000, 1000, PAPER_MACHINE)
+        csr = mttkrp_kernel_cost(slice_nnz, slice_fibers, 50,
+                                 10_000_000, 1000, PAPER_MACHINE,
+                                 leaf_rep="csr", leaf_density=0.03)
+        assert csr.dram_bytes < dense.dram_bytes
+        assert csr.latency_seconds > 0
+        assert dense.latency_seconds == 0
+
+    def test_mttkrp_hybrid_hides_latency(self):
+        slice_nnz = np.full(10, 1e5)
+        slice_fibers = np.full(10, 1e4)
+        kwargs = dict(rank=50, leaf_rows=500_000, mid_rows=1000,
+                      machine=PAPER_MACHINE, leaf_density=0.03)
+        csr = mttkrp_kernel_cost(slice_nnz, slice_fibers,
+                                 leaf_rep="csr", **kwargs)
+        hybrid = mttkrp_kernel_cost(slice_nnz, slice_fibers,
+                                    leaf_rep="csr-h", dense_col_share=0.7,
+                                    **kwargs)
+        assert hybrid.latency_seconds < csr.latency_seconds
+
+    def test_admm_baseline_pays_per_iteration_traffic(self):
+        few = admm_baseline_cost(10_000_000, 50, 2, PAPER_MACHINE)
+        many = admm_baseline_cost(10_000_000, 50, 20, PAPER_MACHINE)
+        assert many.dram_bytes == pytest.approx(10 * few.dram_bytes, rel=0.01)
+        assert many.barriers == 10 * few.barriers
+
+    def test_admm_blocked_traffic_independent_of_iterations(self):
+        rows = np.full(1000, 50.0)
+        few = admm_blocked_cost(rows, np.full(1000, 2.0), 50, PAPER_MACHINE)
+        many = admm_blocked_cost(rows, np.full(1000, 20.0), 50,
+                                 PAPER_MACHINE)
+        assert many.dram_bytes == pytest.approx(few.dram_bytes)
+        assert many.flops > few.flops
+
+    def test_kernel_time_monotone_in_threads_for_large_work(self):
+        cost = admm_baseline_cost(20_000_000, 50, 10, PAPER_MACHINE)
+        times = [kernel_time(cost, t, PAPER_MACHINE)
+                 for t in (1, 2, 4, 8, 20)]
+        # Allow the sub-millisecond barrier growth on the saturated tail.
+        assert all(times[i] >= times[i + 1] - 1e-3
+                   for i in range(len(times) - 1))
+
+    def test_barriers_can_dominate_tiny_work(self):
+        """More threads can hurt when the work is small — the sync cost the
+        blocked reformulation eliminates."""
+        cost = admm_baseline_cost(2_000, 50, 10, PAPER_MACHINE)
+        assert kernel_time(cost, 20, PAPER_MACHINE) > 40 * \
+            PAPER_MACHINE.barrier_cost(20) * 0.9
+
+    def test_kernel_cost_validation(self):
+        with pytest.raises(ValueError):
+            KernelCost(flops=-1, dram_bytes=0)
+        with pytest.raises(ValueError):
+            KernelCost(flops=1, dram_bytes=0, compute_efficiency=0.0)
+
+    def test_combined(self):
+        a = KernelCost(flops=10, dram_bytes=5, barriers=1)
+        b = KernelCost(flops=30, dram_bytes=15, barriers=2)
+        c = a.combined(b)
+        assert c.flops == 40 and c.dram_bytes == 20 and c.barriers == 3
+
+
+class TestWorkloadAndSpeedup:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return {name: FactorizationWorkload.from_spec(name, rank=50)
+                for name in ("reddit", "nell", "amazon", "patents")}
+
+    def test_mode_descriptors_preserve_mass(self, workloads):
+        from repro.datasets import get_spec
+        for name, wl in workloads.items():
+            spec = get_spec(name)
+            for mode in wl.modes:
+                assert mode.nnz == pytest.approx(spec.full_nnz, rel=1e-6)
+
+    def test_speedup_one_thread_is_one(self, workloads):
+        for wl in workloads.values():
+            assert speedup_curve(wl, threads=(1,))[1] == pytest.approx(1.0)
+
+    def test_blocked_at_least_base_everywhere(self, workloads):
+        for name, wl in workloads.items():
+            base = speedup_curve(wl, blocked=False)
+            blk = speedup_curve(wl, blocked=True)
+            for t in base:
+                assert blk[t] >= base[t] - 0.25, (name, t)
+
+    def test_figure4_ordering(self, workloads):
+        """Baseline: MTTKRP-dominated datasets scale best (paper Fig 4)."""
+        base20 = {n: speedup_curve(w, blocked=False)[20]
+                  for n, w in workloads.items()}
+        assert base20["nell"] == min(base20.values())
+        assert base20["patents"] == max(base20.values())
+
+    def test_figure5_reversal(self, workloads):
+        """Blocked: ADMM-dominated datasets scale best (paper Fig 5)."""
+        blk20 = {n: speedup_curve(w, blocked=True)[20]
+                 for n, w in workloads.items()}
+        assert blk20["nell"] == max(blk20.values())
+        assert blk20["patents"] == min(blk20.values())
+
+    def test_fraction_shapes_match_figure3(self, workloads):
+        """NELL is ADMM-dominated; Amazon and Patents MTTKRP-dominated."""
+        fr = {n: factorization_time(w, 1, blocked=False).fractions()
+              for n, w in workloads.items()}
+        assert fr["nell"]["admm"] > 0.5
+        assert fr["amazon"]["mttkrp"] > 0.5
+        assert fr["patents"]["mttkrp"] > 0.5
+
+    def test_speedup_monotone_in_threads(self, workloads):
+        for wl in workloads.values():
+            for blocked in (False, True):
+                curve = speedup_curve(wl, blocked=blocked)
+                values = [curve[t] for t in sorted(curve)]
+                assert all(values[i] <= values[i + 1] + 0.05
+                           for i in range(len(values) - 1))
+
+    def test_measured_block_profile_resampling(self):
+        measured = [np.array([3.0, 5.0, 20.0, 4.0])] * 3
+        wl = FactorizationWorkload.from_spec(
+            "reddit", rank=16, block_iter_profile=measured)
+        for mode in wl.modes:
+            assert mode.block_iters.min() >= 3.0 - 1e-9
+            assert mode.block_iters.max() <= 20.0 + 1e-9

@@ -1,0 +1,67 @@
+"""Unit tests for matricization and index linearization."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, random_coo
+from repro.tensor.matricize import (
+    delinearize_indices,
+    linearize_indices,
+    matricize_coo,
+    matricize_dense,
+)
+
+
+class TestLinearize:
+    def test_round_trip(self, small_tensor):
+        modes = [1, 2]
+        linear = linearize_indices(small_tensor.coords, small_tensor.shape,
+                                   modes)
+        back = delinearize_indices(linear, small_tensor.shape, modes)
+        np.testing.assert_array_equal(back[0], small_tensor.coords[1])
+        np.testing.assert_array_equal(back[1], small_tensor.coords[2])
+
+    def test_first_listed_mode_is_fastest(self):
+        coords = np.array([[0, 1], [0, 0], [0, 0]])
+        linear = linearize_indices(coords, (2, 3, 4), [0, 1, 2])
+        np.testing.assert_array_equal(linear, [0, 1])
+        linear = linearize_indices(coords, (2, 3, 4), [1, 0, 2])
+        np.testing.assert_array_equal(linear, [0, 3])
+
+
+class TestMatricizeCOO:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_unfolding(self, small_tensor, mode):
+        sparse_unfold = matricize_coo(small_tensor, mode).toarray()
+        dense_unfold = matricize_dense(small_tensor.to_dense(), mode)
+        np.testing.assert_allclose(sparse_unfold, dense_unfold)
+
+    def test_shape(self, small_tensor):
+        m = matricize_coo(small_tensor, 1)
+        i, j, k = small_tensor.shape
+        assert m.shape == (j, i * k)
+
+    def test_four_modes(self, four_mode_tensor):
+        for mode in range(4):
+            sparse_unfold = matricize_coo(four_mode_tensor, mode).toarray()
+            dense_unfold = matricize_dense(four_mode_tensor.to_dense(), mode)
+            np.testing.assert_allclose(sparse_unfold, dense_unfold)
+
+    def test_negative_mode_indexing(self, small_tensor):
+        a = matricize_coo(small_tensor, -1).toarray()
+        b = matricize_coo(small_tensor, 2).toarray()
+        np.testing.assert_allclose(a, b)
+
+
+class TestKoldaIdentity:
+    def test_unfolding_times_khatri_rao_equals_model(self, small_factors):
+        """X_(n) = A_n (KR of others)^T for an exact CP tensor."""
+        from repro.linalg import khatri_rao_excluding
+        from repro.tensor.dense import dense_from_factors
+
+        dense = dense_from_factors(small_factors)
+        for mode in range(3):
+            unfold = matricize_dense(dense, mode)
+            kr = khatri_rao_excluding(small_factors, mode)
+            np.testing.assert_allclose(
+                unfold, small_factors[mode] @ kr.T, atol=1e-10)

@@ -1,0 +1,101 @@
+"""2-mode (matrix) support: the paper's claim that the algorithms apply
+equally to matrices — NMF through the identical code path."""
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm, fit_als
+from repro.kernels import mttkrp, mttkrp_coo_reference
+from repro.tensor import COOTensor, CSFTensor
+from repro.tensor.csf import AllModeCSF
+from repro.tensor.random import random_factors
+
+
+@pytest.fixture
+def matrix_tensor(rng):
+    dense = np.maximum(rng.standard_normal((25, 18)), 0.0)
+    return COOTensor.from_dense(dense)
+
+
+class TestMatrixKernels:
+    def test_csf_of_matrix_is_csr_like(self, matrix_tensor):
+        csf = CSFTensor.from_coo(matrix_tensor)
+        assert csf.nmodes == 2
+        assert csf.to_coo() == matrix_tensor
+
+    @pytest.mark.parametrize("mode", [0, 1])
+    def test_matrix_mttkrp(self, matrix_tensor, rng, mode):
+        factors = [rng.standard_normal((s, 4)) for s in matrix_tensor.shape]
+        ref = mttkrp_coo_reference(matrix_tensor, factors, mode)
+        got = mttkrp(AllModeCSF(matrix_tensor), factors, mode)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+        # MTTKRP of a matrix is just X @ other or X.T @ other.
+        dense = matrix_tensor.to_dense()
+        direct = (dense @ factors[1]) if mode == 0 else (dense.T @ factors[0])
+        np.testing.assert_allclose(got, direct, atol=1e-9)
+
+
+class TestNMF:
+    def test_exact_nmf_recovery(self):
+        truth = random_factors((30, 20), 3, seed=5, nonneg=True)
+        dense = truth[0] @ truth[1].T
+        matrix = COOTensor.from_dense(dense)
+        res = fit_aoadmm(matrix, AOADMMOptions(
+            rank=3, constraints="nonneg", seed=2,
+            max_outer_iterations=400, outer_tolerance=1e-13))
+        assert res.relative_error < 1e-3
+        for f in res.model.factors:
+            assert (f >= 0).all()
+
+    def test_blocked_matrix_factorization(self, matrix_tensor):
+        res = fit_aoadmm(matrix_tensor, AOADMMOptions(
+            rank=4, constraints="nonneg", blocked=True, block_size=6,
+            seed=3, max_outer_iterations=25))
+        errs = res.trace.errors()
+        assert errs[-1] <= errs[0]
+
+    def test_matrix_als_is_truncated_factorization(self):
+        """Unconstrained 2-mode ALS must reach the best rank-k error
+        (the truncated SVD bound)."""
+        gen = np.random.default_rng(11)
+        dense = gen.standard_normal((20, 15))
+        matrix = COOTensor.from_dense(dense)
+        res = fit_als(matrix, AOADMMOptions(
+            rank=5, seed=4, max_outer_iterations=500,
+            outer_tolerance=1e-14))
+        u, s, vt = np.linalg.svd(dense)
+        best = np.sqrt((s[5:] ** 2).sum()) / np.linalg.norm(dense)
+        assert res.relative_error <= best * 1.01
+
+
+class TestDriverStops:
+    def test_callback_stop(self, matrix_tensor):
+        stops = []
+
+        def stop_after_three(record):
+            stops.append(record.iteration)
+            return record.iteration >= 3
+
+        res = fit_aoadmm(matrix_tensor, AOADMMOptions(
+            rank=3, seed=1, max_outer_iterations=50, outer_tolerance=0.0,
+            callback=stop_after_three))
+        assert res.stop_reason == "callback"
+        assert res.iterations == 3
+        assert stops == [1, 2, 3]
+
+    def test_time_budget_stop(self, matrix_tensor):
+        # A budget short enough to trip while the error is still falling
+        # (before the tolerance criterion could fire).
+        res = fit_aoadmm(matrix_tensor, AOADMMOptions(
+            rank=3, seed=1, max_outer_iterations=10_000,
+            outer_tolerance=0.0, time_budget_seconds=0.05))
+        assert res.stop_reason == "time_budget"
+        assert res.trace.total_seconds() >= 0.05
+
+    def test_invalid_callback_rejected(self):
+        with pytest.raises(ValueError):
+            AOADMMOptions(callback="not callable")
+
+    def test_invalid_time_budget_rejected(self):
+        with pytest.raises(ValueError):
+            AOADMMOptions(time_budget_seconds=0.0)

@@ -1,0 +1,158 @@
+"""Tests for the support modules: validation, types, logging, dense
+helpers, config, and the workload profile bridge."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULTS, Defaults
+from repro.logging_utils import enable_console_logging, get_logger
+from repro.tensor.dense import (
+    dense_from_factors,
+    khatri_rao_reconstruct,
+    relative_error_dense,
+)
+from repro.tensor.random import cp_values_at, random_factors
+from repro.types import INDEX_DTYPE, VALUE_DTYPE, as_generator
+from repro.validation import (
+    check_coords,
+    check_factor,
+    check_mode,
+    check_rank,
+    check_shape,
+    check_values,
+    require,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_shape(self):
+        assert check_shape([3, 4]) == (3, 4)
+        with pytest.raises(ValueError):
+            check_shape([])
+        with pytest.raises(ValueError):
+            check_shape([3, 0])
+
+    def test_check_mode_negative_indexing(self):
+        assert check_mode(-1, 3) == 2
+        with pytest.raises(ValueError):
+            check_mode(3, 3)
+
+    def test_check_rank(self):
+        assert check_rank(5) == 5
+        with pytest.raises(ValueError):
+            check_rank(0)
+
+    def test_check_coords_dtype(self):
+        coords = check_coords(np.array([[0.0, 1.0]]), (2,))
+        assert coords.dtype == INDEX_DTYPE
+
+    def test_check_values_shape(self):
+        with pytest.raises(ValueError):
+            check_values(np.ones((2, 2)), 4)
+
+    def test_check_factor(self):
+        f = check_factor(np.ones((3, 2)), extent=3, rank=2)
+        assert f.dtype == VALUE_DTYPE
+        with pytest.raises(ValueError):
+            check_factor(np.ones(3))
+        with pytest.raises(ValueError):
+            check_factor(np.ones((3, 2)), extent=4)
+
+
+class TestTypes:
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_from_int(self):
+        a = as_generator(7).uniform()
+        b = as_generator(7).uniform()
+        assert a == b
+
+
+class TestConfig:
+    def test_defaults_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULTS.block_size = 10  # type: ignore[misc]
+
+    def test_paper_values(self):
+        d = Defaults()
+        assert d.block_size == 50
+        assert d.sparsity_threshold == 0.20
+        assert d.max_outer_iterations == 200
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.x").name == "repro.x"
+
+    def test_enable_console_logging(self):
+        handler = enable_console_logging(logging.DEBUG)
+        try:
+            assert handler in logging.getLogger("repro").handlers
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+
+class TestDenseHelpers:
+    def test_khatri_rao_reconstruct_matches_unfolding(self):
+        from repro.tensor.matricize import matricize_dense
+        factors = random_factors((5, 4, 3), 2, seed=1)
+        dense = dense_from_factors(factors)
+        for mode in range(3):
+            np.testing.assert_allclose(
+                khatri_rao_reconstruct(factors, mode),
+                matricize_dense(dense, mode), atol=1e-10)
+
+    def test_relative_error_dense(self):
+        factors = random_factors((4, 3, 2), 2, seed=2)
+        dense = dense_from_factors(factors)
+        assert relative_error_dense(dense, factors) < 1e-12
+        assert relative_error_dense(dense * 2, factors) == pytest.approx(
+            0.5, rel=1e-9)
+
+    def test_dense_from_factors_weights(self):
+        factors = random_factors((3, 3), 2, seed=3)
+        a = dense_from_factors(factors, np.array([2.0, 0.0]))
+        b = 2.0 * np.outer(factors[0][:, 0], factors[1][:, 0])
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_cp_values_at_matches_dense(self):
+        factors = random_factors((4, 5, 6), 3, seed=4)
+        dense = dense_from_factors(factors)
+        coords = np.array([[0, 3], [1, 4], [2, 5]])
+        np.testing.assert_allclose(cp_values_at(factors, coords),
+                                   dense[tuple(coords)], atol=1e-12)
+
+
+class TestMeasuredProfile:
+    def test_bridge_from_real_run(self, small_tensor):
+        from repro import AOADMMOptions, fit_aoadmm
+        from repro.machine import measured_profile
+
+        result = fit_aoadmm(small_tensor, AOADMMOptions(
+            rank=3, seed=1, max_outer_iterations=3, blocked=True,
+            block_size=4, track_block_reports=True))
+        inner, blocks = measured_profile(result)
+        assert len(inner) == 3
+        assert all(i >= 1 for i in inner)
+        assert blocks is not None and len(blocks) == 3
+        assert all(len(b) > 0 for b in blocks)
+
+    def test_no_block_reports_gives_none(self, small_tensor):
+        from repro import AOADMMOptions, fit_aoadmm
+        from repro.machine import measured_profile
+
+        result = fit_aoadmm(small_tensor, AOADMMOptions(
+            rank=3, seed=1, max_outer_iterations=2))
+        inner, blocks = measured_profile(result)
+        assert blocks is None
+        assert len(inner) == 3

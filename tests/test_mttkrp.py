@@ -1,0 +1,161 @@
+"""MTTKRP kernel correctness: every implementation against two oracles."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    mttkrp,
+    mttkrp_coo,
+    mttkrp_coo_reference,
+    mttkrp_csf,
+    mttkrp_csf_internal,
+    mttkrp_csf_leaf,
+    mttkrp_csf_root,
+)
+from repro.kernels.scatter import scatter_add_rows, segment_sums
+from repro.linalg import khatri_rao_excluding
+from repro.tensor import COOTensor, CSFTensor, random_coo
+from repro.tensor.csf import AllModeCSF
+from repro.tensor.matricize import matricize_coo
+
+
+def matrix_oracle(tensor, factors, mode):
+    """Independent oracle: explicit unfolding times Khatri-Rao product."""
+    return matricize_coo(tensor, mode).toarray() @ khatri_rao_excluding(
+        factors, mode)
+
+
+class TestScatterPrimitives:
+    def test_scatter_add_rows_matches_add_at(self, rng):
+        rows = rng.standard_normal((30, 4))
+        idx = rng.integers(0, 7, size=30)
+        a = np.zeros((7, 4))
+        b = np.zeros((7, 4))
+        scatter_add_rows(a, idx, rows)
+        np.add.at(b, idx, rows)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_scatter_empty(self):
+        out = np.zeros((3, 2))
+        scatter_add_rows(out, np.empty(0, dtype=np.int64),
+                         np.empty((0, 2)))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_segment_sums(self):
+        rows = np.arange(12, dtype=float).reshape(6, 2)
+        starts = np.array([0, 2, 5])
+        out = segment_sums(rows, starts)
+        np.testing.assert_allclose(out[0], rows[0:2].sum(axis=0))
+        np.testing.assert_allclose(out[1], rows[2:5].sum(axis=0))
+        np.testing.assert_allclose(out[2], rows[5:].sum(axis=0))
+
+    def test_segment_sums_empty(self):
+        out = segment_sums(np.empty((0, 3)), np.empty(0, dtype=np.int64))
+        assert out.shape == (0, 3)
+
+
+class TestThreeModeKernels:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_coo_matches_reference(self, small_tensor, small_factors, mode):
+        ref = mttkrp_coo_reference(small_tensor, small_factors, mode)
+        np.testing.assert_allclose(
+            mttkrp_coo(small_tensor, small_factors, mode), ref, atol=1e-10)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_coo_matches_matrix_oracle(self, small_tensor, small_factors,
+                                       mode):
+        np.testing.assert_allclose(
+            mttkrp_coo(small_tensor, small_factors, mode),
+            matrix_oracle(small_tensor, small_factors, mode), atol=1e-9)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_csf_dispatch_matches_reference(self, small_tensor,
+                                            small_factors, mode):
+        trees = AllModeCSF(small_tensor)
+        ref = mttkrp_coo_reference(small_tensor, small_factors, mode)
+        np.testing.assert_allclose(
+            mttkrp(trees, small_factors, mode), ref, atol=1e-10)
+
+    def test_root_kernel_on_each_rooting(self, small_tensor, small_factors):
+        for root in range(3):
+            csf = AllModeCSF(small_tensor).csf(root)
+            ref = mttkrp_coo_reference(small_tensor, small_factors, root)
+            np.testing.assert_allclose(
+                mttkrp_csf_root(csf, small_factors), ref, atol=1e-10)
+
+    def test_leaf_kernel(self, small_tensor, small_factors):
+        csf = CSFTensor.from_coo(small_tensor, (0, 1, 2))
+        ref = mttkrp_coo_reference(small_tensor, small_factors, 2)
+        np.testing.assert_allclose(
+            mttkrp_csf_leaf(csf, small_factors), ref, atol=1e-10)
+
+    def test_internal_kernel(self, small_tensor, small_factors):
+        csf = CSFTensor.from_coo(small_tensor, (0, 1, 2))
+        ref = mttkrp_coo_reference(small_tensor, small_factors, 1)
+        np.testing.assert_allclose(
+            mttkrp_csf_internal(csf, small_factors, 1), ref, atol=1e-10)
+
+    def test_internal_rejects_edge_levels(self, small_tensor, small_factors):
+        csf = CSFTensor.from_coo(small_tensor)
+        with pytest.raises(ValueError):
+            mttkrp_csf_internal(csf, small_factors, 0)
+        with pytest.raises(ValueError):
+            mttkrp_csf_internal(csf, small_factors, 2)
+
+
+class TestFourModeKernels:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_all_modes_and_levels(self, four_mode_tensor, mode, rng):
+        factors = [rng.standard_normal((s, 3))
+                   for s in four_mode_tensor.shape]
+        ref = mttkrp_coo_reference(four_mode_tensor, factors, mode)
+        # Via every rooting that exercises a different kernel path.
+        for order in [(mode,) + tuple(m for m in range(4) if m != mode),
+                      tuple(m for m in range(4) if m != mode) + (mode,),
+                      ((mode + 1) % 4,) + tuple(
+                          m for m in range(4) if m != (mode + 1) % 4)]:
+            csf = CSFTensor.from_coo(four_mode_tensor, order)
+            got = mttkrp_csf(csf, factors, mode)
+            np.testing.assert_allclose(got, ref, atol=1e-10,
+                                       err_msg=f"order={order}")
+
+
+class TestEdgeCases:
+    def test_empty_tensor(self, small_factors):
+        empty = COOTensor(np.empty((3, 0), dtype=np.int64), np.empty(0),
+                          (12, 9, 15))
+        out = mttkrp_coo(empty, small_factors, 0)
+        np.testing.assert_array_equal(out, 0.0)
+        out = mttkrp(CSFTensor.from_coo(empty), small_factors, 0)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_single_nonzero(self):
+        t = COOTensor.from_arrays(
+            [np.array([1]), np.array([2]), np.array([0])],
+            np.array([2.0]), shape=(3, 4, 2))
+        gen = np.random.default_rng(5)
+        factors = [gen.standard_normal((s, 3)) for s in t.shape]
+        out = mttkrp_coo(t, factors, 0)
+        expected = np.zeros((3, 3))
+        expected[1] = 2.0 * factors[1][2] * factors[2][0]
+        np.testing.assert_allclose(out, expected)
+
+    def test_factor_shape_mismatch_rejected(self, small_tensor):
+        factors = [np.ones((4, 3))] * 3
+        with pytest.raises(ValueError):
+            mttkrp_coo(small_tensor, factors, 0)
+
+    def test_mttkrp_method_dispatch(self, small_tensor, small_factors):
+        ref = mttkrp_coo_reference(small_tensor, small_factors, 1)
+        for method in ("auto", "coo", "csf"):
+            np.testing.assert_allclose(
+                mttkrp(small_tensor, small_factors, 1, method=method),
+                ref, atol=1e-10)
+        with pytest.raises(ValueError):
+            mttkrp(small_tensor, small_factors, 1, method="bogus")
+
+    def test_rank_one(self, small_tensor):
+        gen = np.random.default_rng(9)
+        factors = [gen.standard_normal((s, 1)) for s in small_tensor.shape]
+        ref = mttkrp_coo_reference(small_tensor, factors, 0)
+        np.testing.assert_allclose(mttkrp_coo(small_tensor, factors, 0), ref)

@@ -1,0 +1,158 @@
+"""Fast integration tests encoding the paper's qualitative claims.
+
+The benchmarks assert these at evaluation scale; these tiny-scale
+versions keep the claims continuously verified by the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm, init_factors
+from repro.constraints import NonNegativeL1
+from repro.datasets import load_dataset
+from repro.kernels.dispatch import MTTKRPEngine
+
+
+@pytest.fixture(scope="module")
+def reddit_tiny():
+    return load_dataset("reddit", "tiny", seed=99)[0]
+
+
+@pytest.fixture(scope="module")
+def nell_tiny():
+    return load_dataset("nell", "tiny", seed=99)[0]
+
+
+class TestBlockedConvergenceClaims:
+    """Section IV-B / Figure 6: blocking helps convergence on skewed data."""
+
+    def test_blocked_not_worse_per_iteration(self, reddit_tiny):
+        init = init_factors(reddit_tiny, 8, "uniform", seed=5)
+        runs = {}
+        for blocked in (False, True):
+            runs[blocked] = fit_aoadmm(
+                reddit_tiny,
+                AOADMMOptions(rank=8, constraints="nonneg",
+                              blocked=blocked, seed=5,
+                              max_outer_iterations=15,
+                              outer_tolerance=0.0),
+                initial_factors=init)
+        # Same-or-better final error within the paper's 1% band.
+        assert (runs[True].relative_error
+                <= runs[False].relative_error * 1.01)
+
+    def test_high_signal_blocks_iterate_more(self, reddit_tiny):
+        """The non-uniform convergence mechanism: block iteration counts
+        vary and correlate with the block's signal."""
+        res = fit_aoadmm(reddit_tiny, AOADMMOptions(
+            rank=8, constraints="nonneg", blocked=True, block_size=20,
+            seed=5, max_outer_iterations=3, outer_tolerance=0.0,
+            track_block_reports=True))
+        spread = []
+        for record in res.trace.records:
+            for report in record.block_reports:
+                iters = np.asarray(report.block_iterations)
+                if iters.size > 1:
+                    spread.append(iters.max() - iters.min())
+        assert max(spread) >= 2  # blocks genuinely diverge in effort
+
+    def test_unblocked_wastes_iterations_on_converged_rows(self,
+                                                           reddit_tiny):
+        """Blocked ADMM does less total row-iteration work than the
+        unblocked solver needs for its aggregate criterion."""
+        init = init_factors(reddit_tiny, 8, "uniform", seed=5)
+        blocked = fit_aoadmm(reddit_tiny, AOADMMOptions(
+            rank=8, constraints="nonneg", blocked=True, block_size=20,
+            seed=5, max_outer_iterations=4, outer_tolerance=0.0,
+            track_block_reports=True), initial_factors=init)
+        rows = reddit_tiny.shape
+        for record in blocked.trace.records[1:]:
+            for mode, report in enumerate(record.block_reports):
+                total_work = report.total_row_iterations
+                uniform_work = rows[mode] * report.iterations
+                # Adaptive per-block effort beats paying the max
+                # iteration count on every row.
+                assert total_work <= uniform_work
+
+
+class TestDynamicSparsityClaims:
+    """Section IV-C / Table II: sparsity emerges and is exploited."""
+
+    def test_density_falls_under_l1(self, reddit_tiny):
+        res = fit_aoadmm(reddit_tiny, AOADMMOptions(
+            rank=8, constraints=NonNegativeL1(0.05), seed=5,
+            max_outer_iterations=10, outer_tolerance=0.0,
+            factor_zero_tol=1e-12))
+        # Factors start dense (uniform init = density 1); by the end the
+        # L1 penalty has driven at least one factor under the paper's
+        # 20% sparsification threshold.
+        last = res.trace.records[-1].factor_densities
+        assert min(last) < 0.2
+        assert np.mean(last) < 0.5
+
+    def test_representation_switches_below_threshold(self, reddit_tiny):
+        res = fit_aoadmm(reddit_tiny, AOADMMOptions(
+            rank=8, constraints=NonNegativeL1(0.05), seed=5,
+            max_outer_iterations=10, outer_tolerance=0.0,
+            repr_policy="csr", sparsity_threshold=0.2,
+            factor_zero_tol=1e-12))
+        last = res.trace.records[-1]
+        switched = [rep for rep, dens in
+                    zip(last.representations, last.factor_densities)
+                    if dens < 0.2]
+        assert "csr" in switched
+
+    def test_representation_does_not_change_math(self, reddit_tiny):
+        init = init_factors(reddit_tiny, 6, "uniform", seed=6)
+        traces = []
+        for policy in ("dense", "csr"):
+            res = fit_aoadmm(reddit_tiny, AOADMMOptions(
+                rank=6, constraints=NonNegativeL1(0.05), seed=6,
+                max_outer_iterations=6, outer_tolerance=0.0,
+                repr_policy=policy, sparsity_threshold=0.9),
+                initial_factors=init)
+            traces.append(res.trace.errors())
+        np.testing.assert_allclose(traces[0], traces[1], rtol=1e-9)
+
+
+class TestWorkBalanceClaims:
+    """Figure 3: the MTTKRP/ADMM balance follows nnz vs mode lengths."""
+
+    def test_nell_is_admm_heavier_than_patents(self, nell_tiny):
+        patents = load_dataset("patents", "tiny", seed=99)[0]
+        fractions = {}
+        for name, tensor in (("nell", nell_tiny), ("patents", patents)):
+            res = fit_aoadmm(tensor, AOADMMOptions(
+                rank=16, constraints="nonneg", blocked=False, seed=3,
+                max_outer_iterations=4, outer_tolerance=0.0))
+            fractions[name] = res.trace.time_fractions()
+        assert (fractions["nell"]["admm"]
+                > fractions["patents"]["admm"])
+
+
+class TestErrorIdentity:
+    """The driver's in-loop norm-expansion error must agree with the
+    standalone CPModel evaluation (they use independent code paths)."""
+
+    def test_trace_error_matches_model_error(self, reddit_tiny):
+        res = fit_aoadmm(reddit_tiny, AOADMMOptions(
+            rank=6, constraints="nonneg", seed=2,
+            max_outer_iterations=5, outer_tolerance=0.0))
+        standalone = res.model.relative_error(reddit_tiny)
+        assert standalone == pytest.approx(res.relative_error, rel=1e-9)
+
+
+class TestEngineReuse:
+    """The harness pattern: one engine amortizes CSF builds across runs."""
+
+    def test_shared_engine_matches_fresh_engine(self, reddit_tiny):
+        init = init_factors(reddit_tiny, 5, "uniform", seed=9)
+        opts = AOADMMOptions(rank=5, constraints="nonneg", seed=9,
+                             max_outer_iterations=4, outer_tolerance=0.0)
+        engine = MTTKRPEngine(reddit_tiny)
+        engine.trees.build_all()
+        a = fit_aoadmm(reddit_tiny, opts, initial_factors=init,
+                       engine=engine)
+        b = fit_aoadmm(reddit_tiny, opts, initial_factors=init)
+        np.testing.assert_allclose(a.trace.errors(), b.trace.errors(),
+                                   rtol=1e-12)

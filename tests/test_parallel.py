@@ -1,0 +1,138 @@
+"""Scheduler, partitioner, and thread-pool tests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    DynamicSchedule,
+    GuidedSchedule,
+    StaticSchedule,
+    balanced_chunks,
+    block_of_row,
+    effective_threads,
+    parallel_for,
+    row_blocks,
+    run_schedule,
+)
+
+
+class TestRowBlocks:
+    def test_exact_division(self):
+        blocks = row_blocks(100, 25)
+        assert len(blocks) == 4
+        assert blocks[0] == slice(0, 25)
+        assert blocks[-1] == slice(75, 100)
+
+    def test_ragged_final_block(self):
+        blocks = row_blocks(10, 4)
+        assert [b.stop - b.start for b in blocks] == [4, 4, 2]
+
+    def test_degenerate_single_block(self):
+        assert row_blocks(10, 0) == [slice(0, 10)]
+        assert row_blocks(10, 100) == [slice(0, 10)]
+
+    def test_empty(self):
+        assert row_blocks(0, 5) == []
+
+    def test_covers_all_rows_exactly_once(self):
+        blocks = row_blocks(97, 7)
+        covered = np.concatenate([np.arange(b.start, b.stop) for b in blocks])
+        np.testing.assert_array_equal(covered, np.arange(97))
+
+    def test_block_of_row(self):
+        assert block_of_row(0, 50) == 0
+        assert block_of_row(49, 50) == 0
+        assert block_of_row(50, 50) == 1
+
+
+class TestBalancedChunks:
+    def test_uniform_weights(self):
+        chunks = balanced_chunks(np.ones(100), 4)
+        sizes = [c.stop - c.start for c in chunks]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_skewed_weights(self):
+        weights = np.zeros(100)
+        weights[0] = 100.0
+        weights[1:] = 1.0
+        chunks = balanced_chunks(weights, 4)
+        # The heavy element is isolated into a small first chunk.
+        assert chunks[0].stop - chunks[0].start <= 2
+
+    def test_single_chunk(self):
+        assert balanced_chunks(np.ones(5), 1) == [slice(0, 5)]
+
+    def test_zero_weights_fall_back(self):
+        chunks = balanced_chunks(np.zeros(10), 3)
+        assert sum(c.stop - c.start for c in chunks) == 10
+
+
+class TestSchedules:
+    def test_static_chunks_cover(self):
+        chunks = StaticSchedule().chunks(10, 3)
+        assert chunks[0] == (0, 4)
+        assert sum(b - a for a, b in chunks) == 10
+
+    def test_dynamic_chunks(self):
+        chunks = DynamicSchedule(chunk_size=3).chunks(10, 2)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_guided_chunks_shrink(self):
+        chunks = GuidedSchedule().chunks(1000, 4)
+        sizes = [b - a for a, b in chunks]
+        assert sizes[0] > sizes[-1]
+        assert sum(sizes) == 1000
+
+    def test_run_schedule_single_thread_is_sum(self):
+        durations = np.array([1.0, 2.0, 3.0])
+        for sched in (StaticSchedule(), DynamicSchedule(), GuidedSchedule()):
+            out = run_schedule(durations, 1, sched)
+            assert out.makespan == pytest.approx(6.0)
+
+    def test_dynamic_beats_static_on_skew(self):
+        durations = np.r_[np.full(1, 100.0), np.ones(99)]
+        static = run_schedule(durations, 4, StaticSchedule(chunk_size=25))
+        dynamic = run_schedule(durations, 4, DynamicSchedule(chunk_size=1))
+        assert dynamic.makespan <= static.makespan
+
+    def test_makespan_bounds(self):
+        """Makespan must lie between ideal and serial."""
+        gen = np.random.default_rng(3)
+        durations = gen.uniform(0.1, 2.0, size=200)
+        for threads in (2, 4, 8):
+            out = run_schedule(durations, threads, DynamicSchedule())
+            assert durations.sum() / threads <= out.makespan + 1e-9
+            assert out.makespan <= durations.sum() + 1e-9
+
+    def test_per_chunk_overhead_counted(self):
+        durations = np.ones(10)
+        base = run_schedule(durations, 2, DynamicSchedule(chunk_size=1))
+        cost = run_schedule(durations, 2, DynamicSchedule(chunk_size=1),
+                            per_chunk_overhead=0.5)
+        assert cost.makespan > base.makespan
+
+    def test_imbalance_metric(self):
+        out = run_schedule(np.array([4.0, 1.0]), 2, DynamicSchedule())
+        assert out.imbalance == pytest.approx(4.0 / 2.5)
+
+    def test_empty(self):
+        out = run_schedule(np.empty(0), 3, DynamicSchedule())
+        assert out.makespan == 0.0
+
+
+class TestThreadPool:
+    def test_results_in_order(self):
+        out = parallel_for(lambda x: x * x, list(range(20)), threads=4)
+        assert out == [x * x for x in range(20)]
+
+    def test_single_thread_inline(self):
+        out = parallel_for(lambda x: x + 1, [1, 2, 3], threads=1)
+        assert out == [2, 3, 4]
+
+    def test_effective_threads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "7")
+        assert effective_threads() == 7
+        monkeypatch.setenv("REPRO_NUM_THREADS", "junk")
+        assert effective_threads() >= 1
+        assert effective_threads(3) == 3

@@ -1,0 +1,59 @@
+"""ASCII plot and sparkline tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Series, ascii_plot, sparkline
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_markers(self):
+        a = Series.from_arrays("base", [1, 2, 3], [3.0, 2.0, 1.0])
+        b = Series.from_arrays("blocked", [1, 2, 3], [3.0, 1.5, 0.5])
+        out = ascii_plot([a, b], title="Fig 6")
+        assert "Fig 6" in out
+        assert "o=base" in out and "x=blocked" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        s = Series.from_arrays("s", [0, 10], [0.0, 5.0])
+        out = ascii_plot([s], x_name="seconds", y_name="error")
+        assert "[seconds]" in out and "y=error" in out
+        assert "5" in out  # y max printed
+
+    def test_log_x(self):
+        s = Series.from_arrays("s", [1, 10, 100, 1000], [1, 2, 3, 4])
+        out = ascii_plot([s], logx=True)
+        assert "1000" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_plot([])
+        empty = Series.from_arrays("e", [], [])
+        assert "(no data)" in ascii_plot([empty])
+
+    def test_constant_series(self):
+        s = Series.from_arrays("c", [1, 2], [5.0, 5.0])
+        out = ascii_plot([s])
+        assert "o" in out  # rendered without division errors
+
+    def test_too_small_area_rejected(self):
+        s = Series.from_arrays("s", [1], [1.0])
+        with pytest.raises(ValueError):
+            ascii_plot([s], width=4, height=2)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 8
+
+    def test_downsampling(self):
+        out = sparkline(np.linspace(0, 1, 500), width=40)
+        assert len(out) == 40
+
+    def test_constant(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

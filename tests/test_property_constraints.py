@@ -1,0 +1,105 @@
+"""Property-based tests for proximity operators.
+
+Every prox must satisfy the defining variational inequality consequences:
+projections are idempotent and nonexpansive; prox of a convex penalty is
+firmly nonexpansive; outputs are feasible for indicator constraints.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.constraints import (
+    Box,
+    L1,
+    L2Squared,
+    NonNegative,
+    NonNegativeL1,
+    RowNormBall,
+    RowSimplex,
+    available_constraints,
+    make_constraint,
+    project_rows_simplex,
+)
+
+matrices = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 12), st.integers(1, 6)),
+    elements=st.floats(-50, 50, allow_nan=False, width=64),
+)
+
+steps = st.floats(1e-3, 1e3)
+
+PROJECTIONS = [NonNegative(), Box(-1.0, 2.0), RowSimplex(),
+               RowNormBall(1.5)]
+ALL = PROJECTIONS + [L1(0.3), NonNegativeL1(0.3), L2Squared(0.2)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices, steps)
+def test_projections_idempotent(v, step):
+    for c in PROJECTIONS:
+        once = c.prox(v.copy(), step)
+        twice = c.prox(once.copy(), step)
+        np.testing.assert_allclose(twice, once, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices, steps)
+def test_projection_outputs_feasible(v, step):
+    for c in PROJECTIONS:
+        out = c.prox(v.copy(), step)
+        assert c.is_feasible(out, atol=1e-7), c.name
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices, matrices, steps)
+def test_prox_nonexpansive(u, v, step):
+    """||prox(u) - prox(v)|| <= ||u - v|| for any convex penalty."""
+    if u.shape != v.shape:
+        return
+    for c in ALL:
+        pu = c.prox(u.copy(), step)
+        pv = c.prox(v.copy(), step)
+        assert (np.linalg.norm(pu - pv)
+                <= np.linalg.norm(u - v) + 1e-8), c.name
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices, steps)
+def test_prox_decreases_objective_vs_input(v, step):
+    """prox output is at least as good as the input point itself."""
+    for c in ALL:
+        out = c.prox(v.copy(), step)
+        obj_out = c.penalty(out) + np.sum((out - v) ** 2) / (2 * step)
+        obj_in = c.penalty(v)
+        if np.isfinite(obj_in):
+            assert obj_out <= obj_in + 1e-7, c.name
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_simplex_projection_properties(v):
+    out = project_rows_simplex(v)
+    assert (out >= -1e-12).all()
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-8)
+    # Projection of a feasible point is itself.
+    np.testing.assert_allclose(project_rows_simplex(out), out, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices, steps)
+def test_l1_shrinks_magnitudes(v, step):
+    out = L1(0.5).prox(v.copy(), step)
+    assert (np.abs(out) <= np.abs(v) + 1e-12).all()
+    assert (np.sign(out) * np.sign(v) >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(sorted(available_constraints())), matrices, steps)
+def test_registry_constraints_prox_shape_stable(name, v, step):
+    c = make_constraint(name)
+    out = c.prox(v.copy(), step)
+    assert out.shape == v.shape
+    assert np.isfinite(out).all()

@@ -1,0 +1,175 @@
+"""Property-based tests: sparse structures, scatter kernels, schedulers,
+power laws, and the Khatri-Rao algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.datasets import compressed_zipf_counts, zipf_weights
+from repro.kernels.scatter import scatter_add_rows
+from repro.linalg import khatri_rao
+from repro.parallel import (
+    DynamicSchedule,
+    GuidedSchedule,
+    StaticSchedule,
+    balanced_chunks,
+    row_blocks,
+    run_schedule,
+)
+from repro.sparse import CSRMatrix, HybridFactor
+
+sparse_mats = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 15), st.integers(1, 8)),
+    elements=st.one_of(st.just(0.0),
+                       st.floats(-10, 10, allow_nan=False, width=64)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_mats)
+def test_csr_round_trip(mat):
+    np.testing.assert_allclose(CSRMatrix.from_dense(mat).to_dense(), mat)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_mats)
+def test_hybrid_round_trip(mat):
+    np.testing.assert_allclose(HybridFactor(mat).to_dense(), mat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_mats, st.integers(0, 2**31 - 1))
+def test_gathers_agree_across_representations(mat, seed):
+    gen = np.random.default_rng(seed)
+    idx = gen.integers(0, mat.shape[0], size=25)
+    scale = gen.standard_normal(25)
+    expected = mat[idx] * scale[:, None]
+    np.testing.assert_allclose(
+        CSRMatrix.from_dense(mat).gather_scale_rows(idx, scale), expected,
+        atol=1e-12)
+    np.testing.assert_allclose(
+        HybridFactor(mat).gather_scale_rows(idx, scale), expected,
+        atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 12), st.integers(0, 2**31 - 1))
+def test_scatter_add_matches_add_at(n, buckets, seed):
+    gen = np.random.default_rng(seed)
+    rows = gen.standard_normal((n, 3))
+    idx = gen.integers(0, buckets, size=n)
+    a = np.zeros((buckets, 3))
+    b = np.zeros((buckets, 3))
+    scatter_add_rows(a, idx, rows)
+    np.add.at(b, idx, rows)
+    np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 64))
+def test_row_blocks_partition(n_rows, block):
+    blocks = row_blocks(n_rows, block)
+    covered = np.concatenate(
+        [np.arange(b.start, b.stop) for b in blocks])
+    np.testing.assert_array_equal(covered, np.arange(n_rows))
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.float64, st.integers(1, 200),
+                  elements=st.floats(0, 100, allow_nan=False, width=64)),
+       st.integers(1, 16))
+def test_balanced_chunks_partition(weights, n_chunks):
+    chunks = balanced_chunks(weights, n_chunks)
+    assert len(chunks) <= n_chunks
+    covered = np.concatenate(
+        [np.arange(c.start, c.stop) for c in chunks])
+    np.testing.assert_array_equal(covered, np.arange(len(weights)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, st.integers(0, 150),
+                  elements=st.floats(0.01, 10, allow_nan=False, width=64)),
+       st.integers(1, 24),
+       st.sampled_from(["static", "dynamic", "guided"]))
+def test_makespan_bounds(durations, threads, kind):
+    """ideal <= makespan <= serial for every schedule."""
+    sched = {"static": StaticSchedule(), "dynamic": DynamicSchedule(),
+             "guided": GuidedSchedule()}[kind]
+    out = run_schedule(durations, threads, sched)
+    total = durations.sum()
+    assert out.makespan >= total / threads - 1e-9
+    assert out.makespan <= total + 1e-9
+    assert abs(sum(out.per_thread_busy) - total) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10**7), st.floats(0.0, 2.0),
+       st.integers(2, 4096))
+def test_compressed_zipf_mass_and_monotonicity(n, exponent, max_items):
+    total = 1e6
+    counts, mult = compressed_zipf_counts(n, total, exponent, max_items)
+    assert (counts * mult).sum() == np.float64(total).item() or \
+        abs((counts * mult).sum() - total) < 1e-3
+    assert mult.sum() == n
+    assert (counts >= 0).all()
+    # Head of the distribution is non-increasing.
+    head = counts[mult == 1]
+    if head.size > 1:
+        assert (np.diff(head) <= 1e-9).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 1000), st.floats(0.0, 3.0))
+def test_zipf_weights_are_distribution(n, exponent):
+    w = zipf_weights(n, exponent)
+    assert abs(w.sum() - 1.0) < 1e-9
+    assert (w > 0).all()
+    assert (np.diff(w) <= 1e-15).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 10),
+                                        st.integers(1, 8)),
+                  elements=st.floats(-20, 20, allow_nan=False, width=64)))
+def test_isotonic_projection_matches_reference_pava(mat):
+    """The SciPy-backed row projection must equal the textbook PAVA."""
+    from repro.constraints.monotone import (
+        _pava_row,
+        isotonic_projection_rows,
+    )
+    fast = isotonic_projection_rows(mat)
+    for i in range(mat.shape[0]):
+        np.testing.assert_allclose(fast[i], _pava_row(mat[i]), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 12),
+                                        st.integers(1, 8)),
+                  elements=st.floats(-20, 20, allow_nan=False, width=64)),
+       st.integers(1, 8))
+def test_top_k_keeps_largest_mass(mat, k):
+    """keep_top_k_rows retains the maximum possible per-row energy."""
+    from repro.constraints.cardinality import keep_top_k_rows
+    out = keep_top_k_rows(mat, k)
+    for i in range(mat.shape[0]):
+        kept = np.sort(np.abs(out[i]))[::-1]
+        best = np.sort(np.abs(mat[i]))[::-1]
+        width = min(k, mat.shape[1])
+        np.testing.assert_allclose(np.sort(kept[:width]),
+                                   np.sort(best[:width]), atol=1e-12)
+        assert (np.abs(out[i]) > 0).sum() <= k
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 4),
+       st.integers(0, 2**31 - 1))
+def test_khatri_rao_column_kron(p_rows, q_rows, rank, seed):
+    gen = np.random.default_rng(seed)
+    p = gen.standard_normal((p_rows, rank))
+    q = gen.standard_normal((q_rows, rank))
+    out = khatri_rao([p, q])
+    for f in range(rank):
+        np.testing.assert_allclose(out[:, f], np.kron(p[:, f], q[:, f]),
+                                   atol=1e-12)

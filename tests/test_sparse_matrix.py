@@ -1,0 +1,171 @@
+"""Unit tests for the CSR and hybrid factor representations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    HybridFactor,
+    choose_representation,
+    column_densities,
+    dense_column_mask,
+    density,
+    should_sparsify,
+)
+
+
+def make_sparse_matrix(rng, shape=(20, 8), density_target=0.25):
+    mat = rng.standard_normal(shape)
+    mask = rng.uniform(size=shape) > density_target
+    mat[mask] = 0.0
+    return mat
+
+
+class TestCSRMatrix:
+    def test_round_trip(self, rng):
+        mat = make_sparse_matrix(rng)
+        csr = CSRMatrix.from_dense(mat)
+        np.testing.assert_allclose(csr.to_dense(), mat)
+
+    def test_scipy_interop(self, rng):
+        mat = make_sparse_matrix(rng)
+        ours = CSRMatrix.from_dense(mat)
+        theirs = CSRMatrix.from_scipy(ours.to_scipy())
+        np.testing.assert_allclose(theirs.to_dense(), mat)
+
+    def test_nnz_and_density(self):
+        mat = np.array([[1.0, 0.0], [0.0, 0.0]])
+        csr = CSRMatrix.from_dense(mat)
+        assert csr.nnz == 1
+        assert csr.density == pytest.approx(0.25)
+
+    def test_tolerance_drops_small(self):
+        mat = np.array([[1e-12, 1.0]])
+        assert CSRMatrix.from_dense(mat, tol=1e-9).nnz == 1
+
+    def test_row_nnz(self, rng):
+        mat = make_sparse_matrix(rng)
+        csr = CSRMatrix.from_dense(mat)
+        np.testing.assert_array_equal(csr.row_nnz(),
+                                      (mat != 0).sum(axis=1))
+
+    def test_gather_scale_rows(self, rng):
+        mat = make_sparse_matrix(rng)
+        csr = CSRMatrix.from_dense(mat)
+        idx = rng.integers(0, mat.shape[0], size=50)
+        scale = rng.standard_normal(50)
+        np.testing.assert_allclose(
+            csr.gather_scale_rows(idx, scale), mat[idx] * scale[:, None],
+            atol=1e-12)
+
+    def test_gather_with_empty_rows(self):
+        mat = np.zeros((4, 3))
+        mat[2] = [1.0, 0.0, 2.0]
+        csr = CSRMatrix.from_dense(mat)
+        idx = np.array([0, 2, 1, 2, 3])
+        scale = np.array([1.0, 2.0, 3.0, 0.5, 1.0])
+        np.testing.assert_allclose(
+            csr.gather_scale_rows(idx, scale), mat[idx] * scale[:, None])
+
+    def test_gather_all_empty(self):
+        csr = CSRMatrix.from_dense(np.zeros((3, 2)))
+        out = csr.gather_scale_rows(np.array([0, 1]), np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_gathered_nnz(self, rng):
+        mat = make_sparse_matrix(rng)
+        csr = CSRMatrix.from_dense(mat)
+        idx = rng.integers(0, mat.shape[0], size=30)
+        assert csr.gathered_nnz(idx) == int((mat[idx] != 0).sum())
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 1]), np.array([0, 1]),
+                      np.array([1.0, 2.0]), (1, 3))
+
+    def test_storage_bytes(self, rng):
+        mat = make_sparse_matrix(rng)
+        csr = CSRMatrix.from_dense(mat)
+        assert csr.storage_bytes() == (csr.indptr.nbytes
+                                       + csr.indices.nbytes
+                                       + csr.data.nbytes)
+
+
+class TestHybridFactor:
+    def test_round_trip(self, rng):
+        mat = make_sparse_matrix(rng, (30, 10))
+        # Make two columns clearly dense.
+        mat[:, 0] = rng.standard_normal(30) + 2.0
+        mat[:, 4] = rng.standard_normal(30) + 2.0
+        hybrid = HybridFactor(mat)
+        assert hybrid.n_dense_cols >= 2
+        np.testing.assert_allclose(hybrid.to_dense(), mat)
+
+    def test_gather_matches_dense(self, rng):
+        mat = make_sparse_matrix(rng, (25, 6))
+        mat[:, 1] = 1.0
+        hybrid = HybridFactor(mat)
+        idx = rng.integers(0, 25, size=40)
+        scale = rng.standard_normal(40)
+        np.testing.assert_allclose(
+            hybrid.gather_scale_rows(idx, scale),
+            mat[idx] * scale[:, None], atol=1e-12)
+
+    def test_dense_columns_sorted_first(self, rng):
+        mat = np.zeros((10, 4))
+        mat[:, 2] = 1.0  # only column 2 is dense
+        mat[0, 0] = 1.0
+        hybrid = HybridFactor(mat)
+        assert hybrid.n_dense_cols == 1
+        assert hybrid.perm[0] == 2
+
+    def test_all_zero_matrix(self):
+        hybrid = HybridFactor(np.zeros((5, 3)))
+        np.testing.assert_array_equal(hybrid.to_dense(), 0.0)
+
+    def test_gathered_nnz_counts_dense_prefix_fully(self, rng):
+        mat = make_sparse_matrix(rng, (20, 5))
+        mat[:, 0] = 1.0
+        hybrid = HybridFactor(mat)
+        idx = np.arange(20)
+        assert hybrid.gathered_nnz(idx) >= 20 * hybrid.n_dense_cols
+
+
+class TestAnalysis:
+    def test_density(self):
+        assert density(np.array([[1.0, 0.0], [0.0, 0.0]])) == 0.25
+        assert density(np.empty((0, 3))) == 0.0
+
+    def test_column_densities(self):
+        mat = np.array([[1.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(column_densities(mat), [1.0, 0.0])
+
+    def test_dense_column_mask_above_average(self):
+        mat = np.zeros((10, 3))
+        mat[:, 0] = 1.0
+        mat[0, 1] = 1.0
+        mask = dense_column_mask(mat)
+        assert mask[0] and not mask[1] and not mask[2]
+
+    def test_should_sparsify_threshold(self):
+        mat = np.zeros((10, 10))
+        mat[0, :] = 1.0  # 10% dense
+        assert should_sparsify(mat, threshold=0.2)
+        assert not should_sparsify(mat, threshold=0.05)
+
+    def test_choose_representation_dense_matrix(self, rng):
+        assert choose_representation(rng.standard_normal((10, 4))) == "dense"
+
+    def test_choose_representation_skewed_goes_hybrid(self):
+        mat = np.zeros((100, 10))
+        mat[:, 0] = 1.0  # one dense column holds most mass
+        mat[:5, 1:] = 0.5
+        assert choose_representation(mat) == "hybrid"
+
+    def test_choose_representation_uniform_sparse_goes_csr(self, rng):
+        mat = (rng.uniform(size=(100, 10)) < 0.05).astype(float)
+        assert choose_representation(mat) in ("csr", "hybrid")
+        assert choose_representation(mat, allow_hybrid=False) == "csr"
+
+    def test_choose_representation_zero_matrix(self):
+        assert choose_representation(np.zeros((5, 5))) == "csr"

@@ -1,0 +1,111 @@
+"""White-box tests for the machine workload descriptor builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import compressed_zipf_counts
+from repro.machine.workload import (
+    FactorizationWorkload,
+    _block_profile,
+    _itemize_bands,
+)
+
+
+class TestItemizeBands:
+    def test_head_passthrough(self):
+        counts = np.array([100.0, 50.0, 10.0])
+        fibers = np.array([20.0, 10.0, 5.0])
+        mult = np.array([1, 1, 1])
+        nnz, fib = _itemize_bands(counts, fibers, mult)
+        np.testing.assert_allclose(nnz, counts)
+        np.testing.assert_allclose(fib, fibers)
+
+    def test_band_mass_preserved(self):
+        counts = np.array([100.0, 2.0])
+        fibers = np.array([30.0, 1.5])
+        mult = np.array([1, 1000])
+        nnz, fib = _itemize_bands(counts, fibers, mult)
+        assert nnz.sum() == pytest.approx(100.0 + 2.0 * 1000)
+        assert fib.sum() == pytest.approx(30.0 + 1.5 * 1000)
+
+    def test_band_items_bounded(self):
+        counts = np.array([5.0])
+        fibers = np.array([2.0])
+        mult = np.array([10**6])
+        nnz, _ = _itemize_bands(counts, fibers, mult, pieces_per_band=64)
+        assert len(nnz) == 64
+        # No fabricated mega-item: each piece carries 1/64 of the band.
+        assert np.allclose(nnz, nnz[0])
+
+    def test_small_band_not_oversplit(self):
+        counts = np.array([5.0])
+        fibers = np.array([2.0])
+        mult = np.array([3])
+        nnz, _ = _itemize_bands(counts, fibers, mult)
+        assert len(nnz) == 3
+
+
+class TestBlockProfile:
+    def test_synthetic_profile_is_skew_driven(self):
+        rows, iters = _block_profile(10_000, 1e6, 1.2, block_size=50,
+                                     measured=None, inner_cap=50)
+        assert rows.sum() == pytest.approx(10_000)
+        # Heavy (early-rank) blocks iterate more than the tail.
+        assert iters[0] > iters[-1]
+        assert iters.max() <= 50 and iters.min() >= 1
+
+    def test_uniform_rows_uniform_iters(self):
+        _, iters = _block_profile(5_000, 1e6, 0.0, block_size=50,
+                                  measured=None, inner_cap=50)
+        assert np.allclose(iters, iters[0])
+
+    def test_measured_profile_resampled(self):
+        measured = np.array([2.0, 4.0, 4.0, 30.0])
+        rows, iters = _block_profile(100_000, 1e6, 1.0, block_size=50,
+                                     measured=measured, inner_cap=50)
+        assert rows.sum() == pytest.approx(100_000)
+        assert iters.min() >= 2.0 - 1e-9
+        assert iters.max() <= 30.0 + 1e-9
+
+    def test_band_compression_preserves_totals(self):
+        rows, iters = _block_profile(10_000_000, 1e8, 1.1, block_size=50,
+                                     measured=None, inner_cap=50,
+                                     max_blocks=1000)
+        assert len(rows) <= 1000
+        assert rows.sum() == pytest.approx(10_000_000)
+        assert (iters >= 1).all()
+
+
+class TestWorkloadConsistency:
+    def test_modes_reference_other_extents(self):
+        wl = FactorizationWorkload.from_spec("reddit", rank=16)
+        from repro.datasets import get_spec
+        shape = get_spec("reddit").full_shape
+        for m, mode in enumerate(wl.modes):
+            assert mode.rows == shape[m]
+            others = [shape[o] for o in range(3) if o != m]
+            assert mode.mid_rows == others[0]
+            assert mode.leaf_rows == others[-1]
+
+    def test_fibers_bounded_by_nnz_and_universe(self):
+        wl = FactorizationWorkload.from_spec("patents", rank=16)
+        for mode in wl.modes:
+            assert (mode.slice_fibers <= mode.slice_nnz + 1e-6).all()
+            total_fibers = mode.slice_fibers.sum()
+            assert total_fibers <= mode.rows * mode.mid_rows + 1e-6
+
+    def test_block_rows_cover_mode(self):
+        wl = FactorizationWorkload.from_spec("nell", rank=16)
+        for m, mode in enumerate(wl.modes):
+            assert mode.block_rows.sum() == pytest.approx(mode.rows)
+
+    def test_inner_iters_scalar_or_list(self):
+        a = FactorizationWorkload.from_spec("reddit", rank=8,
+                                            inner_iters=5.0)
+        b = FactorizationWorkload.from_spec("reddit", rank=8,
+                                            inner_iters=[5.0, 6.0, 7.0])
+        assert a.modes[0].inner_iters == 5.0
+        assert b.modes[2].inner_iters == 7.0
+        with pytest.raises(ValueError):
+            FactorizationWorkload.from_spec("reddit", rank=8,
+                                            inner_iters=[1.0, 2.0])
