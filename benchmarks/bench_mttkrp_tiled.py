@@ -1,0 +1,125 @@
+"""Slab-tiled MTTKRP sweep: slab size x threads, machine-readable output.
+
+Times the engine's slab-tiled dense MTTKRP across a grid of
+``slab_nnz_target`` and ``threads`` settings on one corpus, and records
+the workspace allocation accounting that backs the zero-allocation
+guarantee: after the warm-up sweep, repeated calls on the static pattern
+must allocate **nothing** (child counts, accumulators, and outputs all
+come from the pooled workspace).
+
+Unlike the other benchmarks this one's primary artifact is JSON
+(``BENCH_mttkrp_tiled.json``) so future PRs can diff the perf trajectory
+programmatically; a human-readable table is saved alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.kernels import MTTKRPEngine
+
+from conftest import BENCH_SEED, save_artifact
+
+RANK = 16
+ROUNDS = 5
+#: One-slab limit, the library default, and two finer decompositions.
+SLAB_TARGETS = (10**9, 65536, 8192, 1024)
+THREADS = (1, 2, 4)
+
+
+def _engine_allocations(engine: MTTKRPEngine) -> tuple[int, int]:
+    """(allocations, bytes) across every workspace the engine built."""
+    workspaces = engine._workspaces.values()
+    return (sum(ws.allocations for ws in workspaces),
+            sum(ws.bytes_allocated for ws in workspaces))
+
+
+def _sweep_config(tensor, factors, slab_target: int,
+                  threads: int) -> dict:
+    engine = MTTKRPEngine(tensor, slab_nnz_target=slab_target,
+                          threads=threads)
+    nmodes = tensor.nmodes
+
+    for mode in range(nmodes):  # warm-up: builds trees, tilings, buffers
+        engine.mttkrp(factors, mode)
+    warm_allocs, warm_bytes = _engine_allocations(engine)
+    warm_calls = len(engine.call_log)
+
+    tick = time.perf_counter()
+    for _ in range(ROUNDS):
+        for mode in range(nmodes):
+            engine.mttkrp(factors, mode)
+    total_seconds = time.perf_counter() - tick
+
+    steady = engine.call_log[warm_calls:]
+    steady_allocs, steady_bytes = _engine_allocations(engine)
+    per_mode = {
+        str(mode): float(np.mean([s.seconds for s in steady
+                                  if s.mode == mode]))
+        for mode in range(nmodes)
+    }
+    return {
+        "slab_nnz_target": slab_target,
+        "threads": threads,
+        "slab_counts": [engine.tiling(m).slab_count
+                        for m in range(nmodes)],
+        "warmup": {"allocations": warm_allocs,
+                   "bytes_allocated": warm_bytes},
+        "steady": {
+            "new_allocations": steady_allocs - warm_allocs,
+            "new_bytes_allocated": steady_bytes - warm_bytes,
+            "per_call_bytes": [s.bytes_allocated for s in steady],
+        },
+        "per_mode_mean_seconds": per_mode,
+        "mean_sweep_seconds": total_seconds / ROUNDS,
+    }
+
+
+@pytest.fixture(scope="module")
+def tiled_setup(small_datasets):
+    tensor = small_datasets["reddit"]
+    rng = np.random.default_rng(BENCH_SEED)
+    factors = [rng.uniform(0.0, 1.0, (s, RANK)) for s in tensor.shape]
+    return tensor, factors
+
+
+def test_bench_mttkrp_tiled(tiled_setup, results_dir):
+    tensor, factors = tiled_setup
+    configs = [_sweep_config(tensor, factors, target, threads)
+               for target in SLAB_TARGETS
+               for threads in THREADS]
+
+    # The zero-allocation guarantee is part of the benchmark contract:
+    # fail loudly if any steady-state call allocated.
+    for cfg in configs:
+        assert cfg["steady"]["new_allocations"] == 0, cfg
+        assert cfg["steady"]["new_bytes_allocated"] == 0, cfg
+
+    payload = {
+        "benchmark": "mttkrp_tiled",
+        "dataset": "reddit/small",
+        "shape": list(tensor.shape),
+        "nnz": tensor.nnz,
+        "rank": RANK,
+        "rounds": ROUNDS,
+        "configs": configs,
+    }
+    json_path = results_dir / "BENCH_mttkrp_tiled.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["MTTKRP slab tiling sweep (reddit/small, "
+             f"nnz={tensor.nnz}, rank={RANK})",
+             f"{'slab target':>12} {'threads':>8} {'slabs':>6} "
+             f"{'sweep ms':>10} {'steady allocs':>14}"]
+    for cfg in configs:
+        lines.append(
+            f"{cfg['slab_nnz_target']:>12} {cfg['threads']:>8} "
+            f"{max(cfg['slab_counts']):>6} "
+            f"{cfg['mean_sweep_seconds'] * 1e3:>10.2f} "
+            f"{cfg['steady']['new_allocations']:>14}")
+    lines.append(f"[json saved to {json_path}]")
+    save_artifact(results_dir, "bench_mttkrp_tiled", "\n".join(lines))

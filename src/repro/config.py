@@ -34,6 +34,12 @@ DEFAULT_BLOCK_SIZE = 50
 #: Density below which a factor is gainfully treated as sparse (Section V-E).
 SPARSITY_THRESHOLD = 0.20
 
+#: Default non-zeros per MTTKRP slab (Section IV-A slice parallelism,
+#: generalized to nnz-balanced contiguous slice groups).  ~64k non-zeros
+#: keep a slab's values + leaf ids around one megabyte — large enough to
+#: amortize per-slab dispatch, small enough to load-balance skewed tensors.
+DEFAULT_SLAB_NNZ = 65536
+
 
 @dataclass(frozen=True)
 class Defaults:
@@ -49,6 +55,7 @@ class Defaults:
     max_admm_iterations: int = MAX_ADMM_ITERATIONS
     block_size: int = DEFAULT_BLOCK_SIZE
     sparsity_threshold: float = SPARSITY_THRESHOLD
+    slab_nnz: int = DEFAULT_SLAB_NNZ
 
 
 DEFAULTS = Defaults()

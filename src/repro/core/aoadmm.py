@@ -106,7 +106,9 @@ def fit_aoadmm(tensor: COOTensor,
     if engine is None:
         engine = MTTKRPEngine(tensor, repr_policy=options.repr_policy,
                               sparsity_threshold=options.sparsity_threshold,
-                              tol=options.factor_zero_tol)
+                              tol=options.factor_zero_tol,
+                              threads=options.threads,
+                              slab_nnz_target=options.slab_nnz_target)
         engine.trees.build_all()
 
     states = [AdmmState.from_factor(f) for f in factors]
@@ -122,7 +124,6 @@ def fit_aoadmm(tensor: COOTensor,
     while True:
         mttkrp_seconds = 0.0
         admm_seconds = 0.0
-        other_start = time.perf_counter()
         other_seconds = 0.0
         inner_iterations: list[int] = []
         block_reports: list[object] = []

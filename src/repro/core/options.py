@@ -44,9 +44,13 @@ class AOADMMOptions:
         Magnitude at or below which a factor entry counts as zero for
         sparsity analysis and compression.
     threads:
-        Thread count for the real pool used by blocked ADMM (results are
-        identical for any value; scalability is studied on the machine
-        model).
+        Thread count for the real pool used by blocked ADMM and by the
+        slab-tiled MTTKRP kernels (results are bit-identical for any
+        value; scalability is studied on the machine model).
+    slab_nnz_target:
+        Non-zeros per MTTKRP slab for the engine's CSF tilings
+        (Section IV-A slice parallelism).  ``None`` uses
+        :data:`repro.config.DEFAULT_SLAB_NNZ`.
     """
 
     rank: int = 10
@@ -64,6 +68,7 @@ class AOADMMOptions:
     init: str = "uniform"
     seed: SeedLike = None
     threads: int | None = 1
+    slab_nnz_target: int | None = None
     track_block_reports: bool = False
     #: Called after every outer iteration with the fresh
     #: :class:`~repro.core.trace.OuterIterationRecord`; returning a truthy
@@ -79,6 +84,9 @@ class AOADMMOptions:
         require(self.inner_tolerance > 0.0, "inner tolerance must be positive")
         require(self.outer_tolerance >= 0.0,
                 "outer tolerance must be non-negative")
+        if self.slab_nnz_target is not None:
+            require(self.slab_nnz_target >= 1,
+                    "slab_nnz_target must be positive")
         if self.time_budget_seconds is not None:
             require(self.time_budget_seconds > 0.0,
                     "time budget must be positive")

@@ -20,7 +20,8 @@ from .mttkrp_csf import (
     mttkrp_csf,
 )
 from .mttkrp_sparse import mttkrp_csf_root_repr, FactorRepresentation
-from .dispatch import mttkrp, MTTKRPEngine
+from .workspace import BufferPool, KernelWorkspace
+from .dispatch import mttkrp, MTTKRPEngine, MTTKRPCallStats
 
 __all__ = [
     "scatter_add_rows",
@@ -33,6 +34,9 @@ __all__ = [
     "mttkrp_csf",
     "mttkrp_csf_root_repr",
     "FactorRepresentation",
+    "BufferPool",
+    "KernelWorkspace",
     "mttkrp",
     "MTTKRPEngine",
+    "MTTKRPCallStats",
 ]

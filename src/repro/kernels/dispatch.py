@@ -2,15 +2,18 @@
 
 :func:`mttkrp` is the stateless convenience entry point.
 :class:`MTTKRPEngine` is what the factorization loop uses: it owns the
-per-mode CSF trees (built once — the tensor's pattern is static) and the
+per-mode CSF trees (built once — the tensor's pattern is static), the
+per-tree slab tilings and kernel workspaces (also built once; see
+:mod:`repro.tensor.tiling` and :mod:`repro.kernels.workspace`), and the
 per-mode factor *representations* (rebuilt when a factor changes — the
-factors' sparsity is dynamic, Section IV-C), and it records per-call
+factors' sparsity is dynamic, Section IV-C).  It records per-call
 statistics for the benchmark harness and the machine model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
@@ -21,6 +24,7 @@ from ..sparse.csr import CSRMatrix
 from ..sparse.hybrid import HybridFactor
 from ..tensor.coo import COOTensor
 from ..tensor.csf import AllModeCSF, CSFTensor
+from ..tensor.tiling import CSFTiling
 from ..types import FactorList
 from ..validation import check_mode, require
 from .mttkrp_coo import mttkrp_coo
@@ -32,9 +36,39 @@ from .mttkrp_sparse import (
     representation_name,
     representation_nnz,
 )
+from .workspace import KernelWorkspace
 
 #: Factor-representation policies for :class:`MTTKRPEngine`.
 ReprPolicy = Literal["dense", "csr", "hybrid", "auto"]
+
+#: Memoized trees for the testing-only ``method="csf"`` path, keyed by
+#: ``(id(tensor), mode)``.  Entries pin the source ``coords``/``vals``
+#: arrays so the identity check below cannot be fooled by ``id`` reuse
+#: after garbage collection; the cache is small and FIFO-bounded.
+_CSF_METHOD_CACHE: dict[tuple[int, int],
+                        tuple[np.ndarray, np.ndarray, CSFTensor]] = {}
+_CSF_METHOD_CACHE_MAX = 8
+
+
+def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
+    """Build (or reuse) a mode-rooted tree for ``mttkrp(..., method="csf")``.
+
+    This path exists for testing and one-off calls; sustained use should
+    go through :class:`MTTKRPEngine` / :class:`AllModeCSF`, which amortize
+    the ``O(nnz log nnz)`` sort properly.  The memo here merely keeps
+    repeated test calls from re-sorting the same tensor on every call.
+    """
+    key = (id(tensor), mode)
+    hit = _CSF_METHOD_CACHE.get(key)
+    if hit is not None and hit[0] is tensor.coords and hit[1] is tensor.vals:
+        return hit[2]
+    order = None if mode == 0 else (
+        (mode,) + tuple(m for m in range(tensor.nmodes) if m != mode))
+    tree = CSFTensor.from_coo(tensor, mode_order=order)
+    if len(_CSF_METHOD_CACHE) >= _CSF_METHOD_CACHE_MAX:
+        _CSF_METHOD_CACHE.pop(next(iter(_CSF_METHOD_CACHE)))
+    _CSF_METHOD_CACHE[key] = (tensor.coords, tensor.vals, tree)
+    return tree
 
 
 def mttkrp(tensor: COOTensor | CSFTensor | AllModeCSF, factors: FactorList,
@@ -52,12 +86,7 @@ def mttkrp(tensor: COOTensor | CSFTensor | AllModeCSF, factors: FactorList,
     if method in ("auto", "coo"):
         return mttkrp_coo(tensor, factors, mode)
     if method == "csf":
-        return mttkrp_csf(
-            CSFTensor.from_coo(tensor,
-                               mode_order=None if mode == 0 else
-                               (mode,) + tuple(m for m in range(tensor.nmodes)
-                                               if m != mode)),
-            factors, mode)
+        return mttkrp_csf(_csf_for_method(tensor, mode), factors, mode)
     raise ValueError(f"unknown MTTKRP method {method!r}")
 
 
@@ -70,10 +99,17 @@ class MTTKRPCallStats:
     representation: str
     gathered_nnz: int
     tensor_nnz: int
+    #: Slabs the call was decomposed into (1 = monolithic).
+    slab_count: int = 1
+    #: Fresh workspace bytes allocated during the call (0 after warm-up
+    #: on a static pattern — the zero-allocation guarantee).
+    bytes_allocated: int = 0
+    #: Wall-clock seconds of the kernel call.
+    seconds: float = 0.0
 
 
 class MTTKRPEngine:
-    """Per-mode CSF trees + dynamic factor representations.
+    """Per-mode CSF trees + tilings + workspaces + factor representations.
 
     Parameters
     ----------
@@ -88,34 +124,81 @@ class MTTKRPEngine:
         Density below which a factor may be stored sparse (paper: 20%).
     tol:
         Magnitude at or below which a factor entry counts as zero.
+    csf_allocation:
+        ``"all"`` builds one tree per mode (SPLATT's ALLMODE — fastest);
+        ``"one"`` keeps a single tree and serves the other modes with the
+        internal/leaf kernels (SPLATT's memory-lean ONEMODE policy).
+    threads:
+        Thread count for slab-parallel kernel execution (``None`` = auto
+        via ``REPRO_NUM_THREADS`` / CPU count).  Results are bit-identical
+        for any value — slabs are independent and the reductions are
+        deterministic.
+    slab_nnz_target:
+        Non-zeros per slab for the tilings (``None`` =
+        :data:`repro.config.DEFAULT_SLAB_NNZ`).
+
+    Notes
+    -----
+    Dense-path MTTKRP outputs are written into pooled workspace buffers:
+    the returned array is valid until the **next** call for the same
+    mode.  Every driver in this repository consumes the output before
+    then; copy it if you need it to survive.
     """
 
     def __init__(self, tensor: COOTensor,
                  repr_policy: ReprPolicy = "dense",
                  sparsity_threshold: float = SPARSITY_THRESHOLD,
                  tol: float = 0.0,
-                 csf_allocation: str = "all"):
+                 csf_allocation: str = "all",
+                 threads: int | None = 1,
+                 slab_nnz_target: int | None = None):
         require(repr_policy in ("dense", "csr", "hybrid", "auto"),
                 f"unknown representation policy {repr_policy!r}")
         require(csf_allocation in ("all", "one"),
                 f"unknown CSF allocation {csf_allocation!r}")
         self.trees = AllModeCSF(tensor)
-        #: "all" builds one tree per mode (SPLATT's ALLMODE — fastest);
-        #: "one" keeps a single tree and serves the other modes with the
-        #: internal/leaf kernels (SPLATT's memory-lean ONEMODE policy).
         self.csf_allocation = csf_allocation
         self.repr_policy: ReprPolicy = repr_policy
         self.sparsity_threshold = float(sparsity_threshold)
         self.tol = float(tol)
+        self.threads = threads
+        self.slab_nnz_target = slab_nnz_target
         self._reps: dict[int, FactorRepresentation] = {}
         self._rep_names: dict[int, str] = {}
         self._aggregators: dict[int, object] = {}
+        #: Static per-tree decompositions, keyed by the tree's root mode.
+        self._tilings: dict[int, CSFTiling] = {}
+        self._workspaces: dict[int, KernelWorkspace] = {}
         #: Stats of every MTTKRP call, in order.
         self.call_log: list[MTTKRPCallStats] = []
 
     @property
     def nmodes(self) -> int:
         return self.trees.nmodes
+
+    # ------------------------------------------------------------------
+    # Tiling / workspace management (static: one per tree, built lazily)
+    # ------------------------------------------------------------------
+    def tiling(self, root_mode: int) -> CSFTiling:
+        """The slab tiling of the tree rooted at *root_mode*."""
+        tiling = self._tilings.get(root_mode)
+        if tiling is None:
+            tiling = CSFTiling(self.trees.csf(root_mode),
+                               slab_nnz_target=self.slab_nnz_target)
+            self._tilings[root_mode] = tiling
+        return tiling
+
+    def workspace(self, root_mode: int) -> KernelWorkspace:
+        """The kernel workspace of the tree rooted at *root_mode*."""
+        ws = self._workspaces.get(root_mode)
+        if ws is None:
+            ws = KernelWorkspace(self.tiling(root_mode))
+            self._workspaces[root_mode] = ws
+        return ws
+
+    def workspace_bytes(self) -> int:
+        """Total bytes currently pooled across all workspaces."""
+        return sum(ws.bytes_allocated for ws in self._workspaces.values())
 
     # ------------------------------------------------------------------
     # Representation management
@@ -165,27 +248,43 @@ class MTTKRPEngine:
     def mttkrp(self, factors: FactorList, mode: int) -> np.ndarray:
         """MTTKRP for *mode*, honoring the deep factor's representation."""
         mode = check_mode(mode, self.nmodes)
+        start = time.perf_counter()
         if self.csf_allocation == "one":
             # Memory-lean: a single mode-0-rooted tree serves every mode
             # via the root / internal / leaf kernels.  Sparse factor
             # representations need the root kernel's leaf aggregation, so
             # this policy always computes dense (documented trade-off).
             csf = self.trees.csf(0)
-            out = mttkrp_csf(csf, factors, mode)
+            tiling = self.tiling(0)
+            ws = self.workspace(0)
+            allocs0, bytes0 = ws.snapshot()
+            out = mttkrp_csf(csf, factors, mode, tiling=tiling,
+                             workspace=ws, threads=self.threads)
+            _, bytes1 = ws.snapshot()
             self.call_log.append(MTTKRPCallStats(
                 mode=mode, leaf_mode=csf.mode_order[-1],
                 representation="dense",
                 gathered_nnz=csf.nnz * int(np.asarray(factors[0]).shape[1]),
-                tensor_nnz=csf.nnz))
+                tensor_nnz=csf.nnz,
+                slab_count=tiling.slab_count,
+                bytes_allocated=bytes1 - bytes0,
+                seconds=time.perf_counter() - start))
             return out
         csf = self.trees.csf(mode)
         leaf_mode = csf.mode_order[-1]
         rep = self._reps.get(leaf_mode)
         if rep is None or isinstance(rep, np.ndarray):
-            # Dense path: plain Algorithm 3.
-            out = mttkrp_csf_root_repr(csf, factors, None)
+            # Dense path: slab-tiled Algorithm 3 through the workspace.
+            tiling = self.tiling(mode)
+            ws = self.workspace(mode)
+            _, bytes0 = ws.snapshot()
+            out = mttkrp_csf(csf, factors, mode, tiling=tiling,
+                             workspace=ws, threads=self.threads)
+            _, bytes1 = ws.snapshot()
             rep_name = "dense"
             touched = csf.nnz * int(np.asarray(factors[0]).shape[1])
+            slab_count = tiling.slab_count
+            bytes_allocated = bytes1 - bytes0
         else:
             agg = self._aggregators.get(mode)
             if agg is None:
@@ -195,7 +294,11 @@ class MTTKRPEngine:
             out = mttkrp_csf_root_repr(csf, factors, rep, aggregator=agg)
             rep_name = representation_name(rep)
             touched = representation_nnz(rep, csf.fids[csf.nmodes - 1])
+            slab_count = 1
+            bytes_allocated = 0
         self.call_log.append(MTTKRPCallStats(
             mode=mode, leaf_mode=leaf_mode, representation=rep_name,
-            gathered_nnz=touched, tensor_nnz=csf.nnz))
+            gathered_nnz=touched, tensor_nnz=csf.nnz,
+            slab_count=slab_count, bytes_allocated=bytes_allocated,
+            seconds=time.perf_counter() - start))
         return out

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.partition import balanced_chunks
 from ..parallel.schedule import DynamicSchedule, StaticSchedule
 from ..validation import require
 from .cache import blocked_traffic, miss_rate, streaming_traffic
@@ -41,7 +42,8 @@ def mttkrp_kernel_cost(slice_nnz: np.ndarray, slice_fibers: np.ndarray,
                        leaf_rep: str = "dense",
                        leaf_density: float = 1.0,
                        dense_col_frac: float = 0.05,
-                       dense_col_share: float = 0.6) -> KernelCost:
+                       dense_col_share: float = 0.6,
+                       slab_nnz_target: "int | None" = None) -> KernelCost:
     """Cost of one root-mode MTTKRP.
 
     Parameters
@@ -63,6 +65,12 @@ def mttkrp_kernel_cost(slice_nnz: np.ndarray, slice_fibers: np.ndarray,
     dense_col_share:
         For ``"csr-h"``: fraction of the stored non-zeros those prefix
         columns capture (removed from the CSR tail).
+    slab_nnz_target:
+        Replay the real kernels' slab decomposition: aggregate the
+        per-slice items into nnz-balanced contiguous slabs (the same
+        partitioner :class:`repro.tensor.tiling.CSFTiling` applies) and
+        schedule slabs — not slices — as the dynamic work items.
+        ``None`` keeps the per-slice granularity (the pre-tiling model).
     """
     slice_nnz = np.asarray(slice_nnz, dtype=np.float64)
     slice_fibers = np.asarray(slice_fibers, dtype=np.float64)
@@ -121,10 +129,22 @@ def mttkrp_kernel_cost(slice_nnz: np.ndarray, slice_fibers: np.ndarray,
     # deterministically before replay (otherwise a dynamic chunk of
     # consecutive head slices fabricates imbalance that does not exist).
     n_items = item_flops.shape[0]
+    item_nnz = slice_nnz
     if n_items > 1:
         perm = np.random.default_rng(0x5EED).permutation(n_items)
         item_flops = item_flops[perm]
-    chunk = max(1, n_items // (machine.cores * 512)) if n_items else 1
+        item_nnz = item_nnz[perm]
+    if slab_nnz_target is not None and n_items:
+        # Aggregate slices into the slabs the tiled kernels execute: the
+        # slab is then the schedulable unit (claimed whole, chunk = 1).
+        require(slab_nnz_target >= 1, "slab_nnz_target must be positive")
+        n_slabs = max(1, int(-(-nnz // slab_nnz_target)))
+        chunks = balanced_chunks(item_nnz, n_slabs)
+        item_flops = np.array([float(item_flops[c].sum()) for c in chunks])
+        n_items = item_flops.shape[0]
+        chunk = 1
+    else:
+        chunk = max(1, n_items // (machine.cores * 512)) if n_items else 1
     return KernelCost(
         flops=flops,
         dram_bytes=structure + gather + mid + output,

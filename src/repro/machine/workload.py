@@ -57,14 +57,22 @@ class ModeWorkload:
     def mttkrp_cost(self, rank: int, machine: MachineSpec,
                     leaf_rep: str = "dense", leaf_density: float = 1.0,
                     dense_col_frac: float = 0.05,
-                    dense_col_share: float = 0.6) -> KernelCost:
-        """MTTKRP cost for this mode (one call per outer iteration)."""
+                    dense_col_share: float = 0.6,
+                    slab_nnz_target: "int | None" = None) -> KernelCost:
+        """MTTKRP cost for this mode (one call per outer iteration).
+
+        Pass *slab_nnz_target* (e.g. from a measured
+        :class:`repro.kernels.dispatch.MTTKRPCallStats` trace or the
+        engine's configuration) to replay the slab-tiled decomposition
+        instead of the per-slice one.
+        """
         return mttkrp_kernel_cost(
             self.slice_nnz, self.slice_fibers, rank,
             self.leaf_rows, self.mid_rows, machine,
             leaf_rep=leaf_rep, leaf_density=leaf_density,
             dense_col_frac=dense_col_frac,
-            dense_col_share=dense_col_share)
+            dense_col_share=dense_col_share,
+            slab_nnz_target=slab_nnz_target)
 
     def admm_cost(self, rank: int, machine: MachineSpec,
                   blocked: bool) -> KernelCost:

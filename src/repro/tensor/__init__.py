@@ -6,6 +6,7 @@ paper builds on (SPLATT's coordinate and compressed-sparse-fiber formats).
 
 from .coo import COOTensor
 from .csf import CSFTensor
+from .tiling import CSFSlab, CSFTiling, nnz_per_root_slice, tile_csf
 from .dense import dense_from_factors, khatri_rao_reconstruct
 from .matricize import matricize_coo, linearize_indices, delinearize_indices
 from .random import (
@@ -19,6 +20,10 @@ from .stats import TensorStats, compute_stats
 __all__ = [
     "COOTensor",
     "CSFTensor",
+    "CSFSlab",
+    "CSFTiling",
+    "nnz_per_root_slice",
+    "tile_csf",
     "dense_from_factors",
     "khatri_rao_reconstruct",
     "matricize_coo",

@@ -1,5 +1,8 @@
 """Scheduler, partitioner, and thread-pool tests."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -136,3 +139,47 @@ class TestThreadPool:
         monkeypatch.setenv("REPRO_NUM_THREADS", "junk")
         assert effective_threads() >= 1
         assert effective_threads(3) == 3
+
+    def test_results_ordered_despite_timing_inversion(self):
+        # Early items sleep longest: with a pool, later items *finish*
+        # first, but results must still come back in input order.
+        def work(i):
+            time.sleep(0.02 * (5 - i))
+            return i
+        assert parallel_for(work, list(range(5)), threads=4) == \
+            list(range(5))
+
+    def test_exception_propagates_from_worker(self):
+        def boom(i):
+            if i == 3:
+                raise RuntimeError(f"worker {i} failed")
+            return i
+        with pytest.raises(RuntimeError, match="worker 3 failed"):
+            parallel_for(boom, list(range(6)), threads=4)
+
+    def test_exception_propagates_inline(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_for(lambda x: 1 // x, [1, 0], threads=1)
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "7")
+        assert effective_threads(2) == 2
+
+    def test_invalid_int_env_falls_back_to_cpu(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "not-a-number")
+        assert effective_threads() == (os.cpu_count() or 1)
+
+    def test_nonpositive_env_values_ignored(self, monkeypatch):
+        for bad in ("0", "-4"):
+            monkeypatch.setenv("REPRO_NUM_THREADS", bad)
+            assert effective_threads() == (os.cpu_count() or 1)
+
+    def test_empty_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "")
+        assert effective_threads() == (os.cpu_count() or 1)
+
+    def test_nonpositive_request_falls_through(self, monkeypatch):
+        # requested <= 0 is treated as "unset" and defers to the env var.
+        monkeypatch.setenv("REPRO_NUM_THREADS", "5")
+        assert effective_threads(0) == 5
+        assert effective_threads(-1) == 5

@@ -1,0 +1,306 @@
+"""Slab tiling + kernel workspace: structure, bit-identity, reuse."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import MTTKRPEngine
+from repro.kernels.dispatch import _CSF_METHOD_CACHE, _csf_for_method
+from repro.kernels.mttkrp_csf import (
+    mttkrp_csf,
+    mttkrp_csf_internal,
+    mttkrp_csf_leaf,
+    mttkrp_csf_root,
+)
+from repro.kernels.workspace import BufferPool, KernelWorkspace
+from repro.tensor import COOTensor, CSFTensor, random_coo
+from repro.tensor.tiling import CSFTiling, nnz_per_root_slice, tile_csf
+
+#: slab_nnz_target extremes the ISSUE asks for: one slab for the whole
+#: tree, a paper-ish mid-size, and the finest slicing (one slab per
+#: root slice — targets below the slice mass can't split further).
+SLAB_TARGETS = (10**9, 23, 1)
+THREAD_COUNTS = (1, 4)
+
+
+def _tensor_with_empty_slices() -> COOTensor:
+    """Every mode has empty slices (ids 0 and last never appear)."""
+    coords = np.array([
+        [1, 1, 3, 3, 5],
+        [2, 2, 4, 1, 1],
+        [1, 3, 3, 5, 1],
+    ])
+    vals = np.array([1.5, -2.0, 0.5, 3.0, -1.0])
+    return COOTensor(coords, vals, (8, 6, 7))
+
+
+class TestTilingStructure:
+    def test_nnz_per_root_slice(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        per_slice = nnz_per_root_slice(csf)
+        assert per_slice.shape == (csf.nslices,)
+        assert per_slice.sum() == csf.nnz
+        assert (per_slice >= 1).all()
+
+    def test_slabs_tile_every_level(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        tiling = CSFTiling(csf, slab_nnz_target=20)
+        for level in range(csf.nmodes):
+            cursor = 0
+            for slab in tiling:
+                lo, hi = slab.node_ranges[level]
+                assert lo == cursor
+                cursor = hi
+            assert cursor == csf.nnodes(level)
+
+    def test_slab_trees_are_views_with_rebased_pointers(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        tiling = CSFTiling(csf, n_slabs=4)
+        for slab in tiling:
+            tree = slab.tree
+            lo, hi = slab.leaf_range
+            assert tree.vals.base is csf.vals
+            np.testing.assert_array_equal(tree.vals, csf.vals[lo:hi])
+            for level in range(csf.nmodes - 1):
+                assert tree.fptr[level][0] == 0
+                assert tree.fptr[level][-1] == tree.nnodes(level + 1)
+
+    def test_slab_nnz_balances_skew(self):
+        # One huge slice + many tiny ones: the heavy slice is isolated
+        # into its own slab instead of dragging neighbours along.
+        coords = [np.r_[np.zeros(60, dtype=np.int64),
+                        np.arange(1, 11, dtype=np.int64)]]
+        coords.append(np.r_[np.arange(60, dtype=np.int64) % 9,
+                            np.zeros(10, dtype=np.int64)])
+        coords.append(np.r_[np.arange(60, dtype=np.int64) % 7,
+                            np.ones(10, dtype=np.int64)])
+        t = COOTensor(np.stack(coords), np.ones(70), (11, 9, 7))
+        csf = CSFTensor.from_coo(t)
+        tiling = CSFTiling(csf, n_slabs=4)
+        assert tiling.slab_count >= 2
+        assert tiling.slabs[0].nnz == nnz_per_root_slice(csf).max()
+        assert tiling.slabs[0].root_range == (0, 1)
+        assert tiling.slab_nnz.sum() == csf.nnz
+
+    def test_single_and_finest_extremes(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        assert CSFTiling(csf, slab_nnz_target=10**9).slab_count == 1
+        finest = CSFTiling(csf, slab_nnz_target=1)
+        # Slabs never split a root slice, so the finest tiling is bounded
+        # by the slice count (the balanced partitioner may still merge
+        # featherweight slices to even out the masses).
+        assert 1 < finest.slab_count <= csf.nslices
+        mid = CSFTiling(csf, slab_nnz_target=23)
+        assert finest.slab_count >= mid.slab_count
+
+    def test_empty_tensor_has_no_slabs(self):
+        empty = COOTensor(np.empty((3, 0), dtype=np.int64), np.empty(0),
+                          (4, 5, 6))
+        tiling = tile_csf(CSFTensor.from_coo(empty), slab_nnz_target=8)
+        assert tiling.slab_count == 0
+
+    def test_bad_target_rejected(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        with pytest.raises(ValueError):
+            CSFTiling(csf, slab_nnz_target=0)
+
+
+class TestBitIdentity:
+    """Tiled results must equal the monolithic kernels bit for bit."""
+
+    @pytest.mark.parametrize("target", SLAB_TARGETS)
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_three_mode_all_kernels(self, small_tensor, small_factors,
+                                    target, threads):
+        csf = CSFTensor.from_coo(small_tensor, (0, 1, 2))
+        tiling = CSFTiling(csf, slab_nnz_target=target)
+        ws = KernelWorkspace(tiling)
+        base = [mttkrp_csf_root(csf, small_factors),
+                mttkrp_csf_internal(csf, small_factors, 1),
+                mttkrp_csf_leaf(csf, small_factors)]
+        got = [mttkrp_csf_root(csf, small_factors, tiling=tiling,
+                               workspace=ws, threads=threads),
+               mttkrp_csf_internal(csf, small_factors, 1, tiling=tiling,
+                                   workspace=ws, threads=threads),
+               mttkrp_csf_leaf(csf, small_factors, tiling=tiling,
+                               workspace=ws, threads=threads)]
+        for b, g in zip(base, got):
+            np.testing.assert_array_equal(b, g)
+
+    @pytest.mark.parametrize("target", SLAB_TARGETS)
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_four_mode_every_level(self, four_mode_tensor, rng, target,
+                                   threads, mode):
+        factors = [rng.standard_normal((s, 3))
+                   for s in four_mode_tensor.shape]
+        # Root the tree at mode 1 so modes hit root, both internal
+        # levels, and the leaf kernel across the parametrization.
+        order = (1, 0, 2, 3)
+        csf = CSFTensor.from_coo(four_mode_tensor, order)
+        tiling = CSFTiling(csf, slab_nnz_target=target)
+        ws = KernelWorkspace(tiling)
+        base = mttkrp_csf(csf, factors, mode)
+        got = mttkrp_csf(csf, factors, mode, tiling=tiling,
+                         workspace=ws, threads=threads)
+        np.testing.assert_array_equal(base, got)
+
+    @pytest.mark.parametrize("target", SLAB_TARGETS)
+    def test_empty_slices_everywhere(self, target):
+        t = _tensor_with_empty_slices()
+        gen = np.random.default_rng(31)
+        factors = [gen.standard_normal((s, 4)) for s in t.shape]
+        csf = CSFTensor.from_coo(t, (0, 1, 2))
+        tiling = CSFTiling(csf, slab_nnz_target=target)
+        ws = KernelWorkspace(tiling)
+        for kernel, args in ((mttkrp_csf_root, ()),
+                             (mttkrp_csf_internal, (1,)),
+                             (mttkrp_csf_leaf, ())):
+            base = kernel(csf, factors, *args)
+            got = kernel(csf, factors, *args, tiling=tiling,
+                         workspace=ws, threads=2)
+            np.testing.assert_array_equal(base, got)
+            # Empty slices of the target mode must stay exactly zero.
+            assert np.array_equal(got[0], np.zeros_like(got[0]))
+
+    def test_empty_tensor_through_tiled_path(self, small_factors):
+        empty = COOTensor(np.empty((3, 0), dtype=np.int64), np.empty(0),
+                          (12, 9, 15))
+        csf = CSFTensor.from_coo(empty)
+        tiling = CSFTiling(csf, slab_nnz_target=4)
+        ws = KernelWorkspace(tiling)
+        out = mttkrp_csf_root(csf, small_factors, tiling=tiling,
+                              workspace=ws)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_matrix_mode_tensor(self, rng):
+        t = random_coo((9, 14), 30, seed=3)
+        factors = [rng.standard_normal((s, 4)) for s in t.shape]
+        csf = CSFTensor.from_coo(t)
+        tiling = CSFTiling(csf, slab_nnz_target=5)
+        ws = KernelWorkspace(tiling)
+        for mode in range(2):
+            np.testing.assert_array_equal(
+                mttkrp_csf(csf, factors, mode),
+                mttkrp_csf(csf, factors, mode, tiling=tiling,
+                           workspace=ws, threads=2))
+
+    def test_workspace_tiling_mismatch_rejected(self, small_tensor,
+                                                small_factors):
+        csf = CSFTensor.from_coo(small_tensor)
+        ws = KernelWorkspace(CSFTiling(csf, n_slabs=2))
+        other = CSFTiling(csf, n_slabs=3)
+        with pytest.raises(ValueError):
+            mttkrp_csf_root(csf, small_factors, tiling=other, workspace=ws)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("target", SLAB_TARGETS)
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_engine_bit_identical_across_configs(self, small_tensor,
+                                                 small_factors, target,
+                                                 threads):
+        reference = MTTKRPEngine(small_tensor, slab_nnz_target=10**9,
+                                 threads=1)
+        engine = MTTKRPEngine(small_tensor, slab_nnz_target=target,
+                              threads=threads)
+        for mode in range(3):
+            np.testing.assert_array_equal(
+                reference.mttkrp(small_factors, mode).copy(),
+                engine.mttkrp(small_factors, mode))
+
+    @pytest.mark.parametrize("allocation", ["all", "one"])
+    def test_zero_allocations_after_warmup(self, small_tensor,
+                                           small_factors, allocation):
+        engine = MTTKRPEngine(small_tensor, csf_allocation=allocation,
+                              slab_nnz_target=20, threads=2)
+        for mode in range(3):  # warm-up sweep
+            engine.mttkrp(small_factors, mode)
+        assert engine.workspace_bytes() > 0
+        for mode in range(3):  # steady state
+            engine.mttkrp(small_factors, mode)
+        steady = engine.call_log[3:]
+        assert all(s.bytes_allocated == 0 for s in steady)
+        assert all(s.slab_count >= 1 for s in steady)
+        assert all(s.seconds >= 0.0 for s in steady)
+
+    def test_call_stats_record_decomposition(self, small_tensor,
+                                             small_factors):
+        engine = MTTKRPEngine(small_tensor, slab_nnz_target=20)
+        engine.mttkrp(small_factors, 0)
+        entry = engine.call_log[0]
+        assert entry.slab_count == engine.tiling(0).slab_count > 1
+        assert entry.bytes_allocated > 0  # warm-up call allocates
+
+    def test_output_buffer_reused_per_mode(self, small_tensor,
+                                           small_factors):
+        engine = MTTKRPEngine(small_tensor, slab_nnz_target=20)
+        first = engine.mttkrp(small_factors, 0)
+        second = engine.mttkrp(small_factors, 0)
+        assert first is second  # pooled output: same buffer, fresh values
+
+
+class TestWorkspaceInternals:
+    def test_buffer_pool_hits_and_reallocation(self):
+        pool = BufferPool()
+        a = pool.take("x", (4, 3))
+        b = pool.take("x", (4, 3))
+        assert a is b
+        assert pool.allocations == 1 and pool.hits == 1
+        c = pool.take("x", (5, 3))  # shape change (e.g. new rank)
+        assert c is not a
+        assert pool.allocations == 2
+
+    def test_child_counts_and_expand_indices_cached(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        ws = KernelWorkspace(CSFTiling(csf, n_slabs=2))
+        counts = ws.child_counts(0, 0)
+        tree = ws.tiling.slabs[0].tree
+        np.testing.assert_array_equal(counts, np.diff(tree.fptr[0]))
+        assert ws.child_counts(0, 0) is counts
+        idx = ws.expand_indices(0, 0)
+        np.testing.assert_array_equal(
+            idx, np.repeat(np.arange(counts.shape[0]), counts))
+        assert ws.expand_indices(0, 0) is idx
+
+    def test_scatter_plan_matches_scatter_add(self, rng):
+        from repro.kernels.scatter import scatter_add_rows
+        index = rng.integers(0, 6, size=40)
+        rows = rng.standard_normal((40, 3))
+        csf = CSFTensor.from_coo(random_coo((4, 4, 4), 10, seed=1))
+        ws = KernelWorkspace(CSFTiling(csf))
+        order, starts, targets = ws.scatter_plan("t", index)
+        expected = np.zeros((6, 3))
+        scatter_add_rows(expected, index, rows)
+        got = np.zeros((6, 3))
+        sums = np.add.reduceat(rows[order], starts, axis=0)
+        got[targets] += sums
+        np.testing.assert_array_equal(expected, got)
+
+
+class TestCsfMethodMemoization:
+    def test_repeated_calls_reuse_tree(self, small_tensor):
+        _CSF_METHOD_CACHE.clear()
+        first = _csf_for_method(small_tensor, 1)
+        again = _csf_for_method(small_tensor, 1)
+        assert first is again
+        other_mode = _csf_for_method(small_tensor, 2)
+        assert other_mode is not first
+
+    def test_cache_bounded(self):
+        _CSF_METHOD_CACHE.clear()
+        tensors = [random_coo((5, 5, 5), 12, seed=s) for s in range(12)]
+        for t in tensors:
+            _csf_for_method(t, 0)
+        assert len(_CSF_METHOD_CACHE) <= 8
+
+    def test_stale_id_not_served(self, small_tensor):
+        # A different tensor object reusing the same id must not hit: the
+        # pinned coords/vals identity check guards the (id, mode) key.
+        _CSF_METHOD_CACHE.clear()
+        _csf_for_method(small_tensor, 0)
+        ((key, (coords, vals, _tree)),) = _CSF_METHOD_CACHE.items()
+        clone = COOTensor(small_tensor.coords.copy(),
+                          small_tensor.vals.copy(), small_tensor.shape)
+        _CSF_METHOD_CACHE[(id(clone), 0)] = (coords, vals, _tree)
+        fresh = _csf_for_method(clone, 0)
+        assert fresh is not _tree
