@@ -51,6 +51,19 @@ from .core import (
     penalized_objective,
     save_model,
 )
+from .robustness import (
+    Checkpoint,
+    FaultInjector,
+    FaultSpec,
+    GuardEvent,
+    HealthMonitor,
+    NumericalFaultError,
+    WorkerFault,
+    WorkerFaultPlan,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from .tensor import COOTensor, CSFTensor, read_tns, write_tns
 
 __version__ = "1.0.0"
@@ -81,6 +94,17 @@ __all__ = [
     "save_model",
     "load_model",
     "penalized_objective",
+    "Checkpoint",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardEvent",
+    "HealthMonitor",
+    "NumericalFaultError",
+    "WorkerFault",
+    "WorkerFaultPlan",
+    "load_checkpoint",
+    "save_checkpoint",
+    "verify_checkpoint",
     "COOTensor",
     "CSFTensor",
     "read_tns",

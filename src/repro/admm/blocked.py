@@ -48,6 +48,9 @@ class BlockedAdmmReport:
     block_rows: tuple[int, ...]
     rho: float
     converged: bool
+    #: Diagonal jitter the mode-global Cholesky needed (shared by every
+    #: block; 0.0 unless the Gram was rank deficient / indefinite).
+    jitter_added: float = 0.0
 
     @property
     def iterations(self) -> int:
@@ -133,4 +136,5 @@ def blocked_admm_update(state: AdmmState, mttkrp: np.ndarray,
 
     return BlockedAdmmReport(block_iterations=tuple(iterations),
                              block_rows=tuple(rows), rho=rho,
-                             converged=all_converged)
+                             converged=all_converged,
+                             jitter_added=chol.jitter_added)

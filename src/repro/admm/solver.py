@@ -35,6 +35,9 @@ class AdmmReport:
     primal_residual: float
     dual_residual: float
     converged: bool
+    #: Diagonal jitter the Cholesky of ``G + rho I`` needed (0.0 normally;
+    #: positive when an L1-killed rank-deficient Gram had to be repaired).
+    jitter_added: float = 0.0
 
 
 def admm_update(state: AdmmState, mttkrp: np.ndarray, gram: np.ndarray,
@@ -91,4 +94,5 @@ def admm_update(state: AdmmState, mttkrp: np.ndarray, gram: np.ndarray,
     state.primal = primal
     state.dual = dual
     return AdmmReport(iterations=iterations, rho=rho, primal_residual=r,
-                      dual_residual=s, converged=converged)
+                      dual_residual=s, converged=converged,
+                      jitter_added=chol.jitter_added)

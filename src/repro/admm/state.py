@@ -39,6 +39,21 @@ class AdmmState:
         """Deep copy (used when comparing solver variants on equal starts)."""
         return AdmmState(self.primal.copy(), self.dual.copy())
 
+    def is_finite(self) -> bool:
+        """True when both primal and dual are free of NaN/Inf."""
+        return bool(np.isfinite(self.primal).all()
+                    and np.isfinite(self.dual).all())
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Owned copies of ``(primal, dual)`` for checkpoints/rollback."""
+        return self.primal.copy(), self.dual.copy()
+
+    @classmethod
+    def from_snapshot(cls, primal: np.ndarray,
+                      dual: np.ndarray) -> "AdmmState":
+        """Rebuild a state from :meth:`snapshot` output (copies taken)."""
+        return cls(np.array(primal, copy=True), np.array(dual, copy=True))
+
     @classmethod
     def from_factor(cls, factor: np.ndarray) -> "AdmmState":
         """Fresh state around an initial factor with zero duals."""

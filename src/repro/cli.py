@@ -57,8 +57,11 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_outer_iterations=args.max_iterations,
         outer_tolerance=args.tolerance,
+        guard_policy=args.guard_policy,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
     )
-    result = fit_aoadmm(tensor, options)
+    result = fit_aoadmm(tensor, options, resume_from=args.resume)
     for record in result.trace.records:
         if args.verbose or record.iteration == len(result.trace):
             print(f"iter {record.iteration:4d}  "
@@ -135,6 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="save factors as .npz")
     p.add_argument("--verbose", action="store_true",
                    help="print every outer iteration")
+    p.add_argument("--guard-policy", default="raise",
+                   choices=("off", "raise", "rollback", "repair"),
+                   help="numerical-guard reaction (repro.robustness)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help=".npz destination for resumable checkpoints")
+    p.add_argument("--checkpoint-every", type=int, metavar="N",
+                   help="checkpoint every N outer iterations "
+                        "(requires --checkpoint)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume bit-identically from a checkpoint "
+                        "written by a previous run")
     p.set_defaults(func=_cmd_factorize)
 
     p = sub.add_parser("generate", help="write a synthetic corpus")

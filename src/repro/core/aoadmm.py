@@ -11,12 +11,20 @@ One outer iteration cycles over the modes; for each mode it
 
 The relative error is evaluated from the *last* mode's MTTKRP via the norm
 expansion identity, so convergence checking adds no kernel work.
+
+Robustness (``repro.robustness``): the loop is wired with numerical
+guards — MTTKRP outputs, post-update primal/dual states, and the error
+series are health-checked every iteration per ``options.guard_policy`` —
+and with periodic checkpointing (``options.checkpoint_every`` /
+``checkpoint_path``).  A checkpointed run resumes **bit-identically**
+via ``fit_aoadmm(..., resume_from=path)``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -26,6 +34,13 @@ from ..admm.solver import admm_update
 from ..admm.state import AdmmState
 from ..kernels.dispatch import MTTKRPEngine
 from ..linalg.grams import GramCache
+from ..robustness.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from ..robustness.guards import HealthMonitor, RollbackRequested
 from ..sparse.analysis import density
 from ..tensor.coo import COOTensor
 from ..validation import require
@@ -43,7 +58,18 @@ class FactorizationResult:
     model: CPModel
     trace: FactorizationTrace
     converged: bool
-    #: "tolerance" or "max_iterations".
+    #: Why the run stopped:
+    #:
+    #: * ``"tolerance"`` — the relative error improved by less than
+    #:   ``options.outer_tolerance`` (the only reason with
+    #:   ``converged=True``);
+    #: * ``"max_iterations"`` — ``options.max_outer_iterations`` reached;
+    #: * ``"callback"`` — ``options.callback`` returned truthy;
+    #: * ``"time_budget"`` — ``options.time_budget_seconds`` exceeded;
+    #: * ``"rollback"`` — a numerical guard fired under the ``rollback``
+    #:   policy and the best iterate was restored;
+    #: * ``"diverged"`` — the divergence guard fired (non-``raise``
+    #:   policy) and the best iterate was restored.
     stop_reason: str
     options: AOADMMOptions
 
@@ -59,7 +85,9 @@ class FactorizationResult:
 def fit_aoadmm(tensor: COOTensor,
                options: AOADMMOptions | None = None,
                initial_factors: list[np.ndarray] | None = None,
-               engine: MTTKRPEngine | None = None) -> FactorizationResult:
+               engine: MTTKRPEngine | None = None,
+               resume_from: "str | Path | Checkpoint | None" = None
+               ) -> FactorizationResult:
     """Factorize *tensor* with (accelerated) AO-ADMM.
 
     Parameters
@@ -76,11 +104,22 @@ def fit_aoadmm(tensor: COOTensor,
         A pre-built :class:`MTTKRPEngine` — pass one to amortize CSF
         construction across runs of the same tensor (the benchmark
         harness does this).
+    resume_from:
+        A checkpoint path (or loaded
+        :class:`~repro.robustness.checkpoint.Checkpoint`) written by a
+        previous run with ``options.checkpoint_every`` set.  The run
+        continues bit-identically from the checkpointed iteration; the
+        tensor and the numerics-affecting options must match (verified).
 
     Returns
     -------
     FactorizationResult
         The model, the per-iteration trace, and stop diagnostics.
+
+    Raises
+    ------
+    repro.robustness.guards.NumericalFaultError
+        When a numerical guard fires under ``guard_policy="raise"``.
     """
     options = options or AOADMMOptions()
     require(tensor.nmodes >= 2, "factorization needs at least two modes")
@@ -94,14 +133,26 @@ def fit_aoadmm(tensor: COOTensor,
     rho_policy = make_rho_policy(options.rho_policy)
 
     setup_start = time.perf_counter()
-    if initial_factors is None:
-        factors = init_factors(tensor, options.rank, options.init,
-                               options.seed)
+    checkpoint: Checkpoint | None = None
+    if resume_from is not None:
+        require(initial_factors is None,
+                "resume_from and initial_factors are mutually exclusive")
+        checkpoint = (resume_from if isinstance(resume_from, Checkpoint)
+                      else load_checkpoint(resume_from))
+        verify_checkpoint(checkpoint, tensor, options)
+
+    if checkpoint is not None:
+        states = checkpoint.states()
     else:
-        require(len(initial_factors) == tensor.nmodes,
-                "one initial factor per mode required")
-        factors = [np.array(f, dtype=float, copy=True)
-                   for f in initial_factors]
+        if initial_factors is None:
+            factors = init_factors(tensor, options.rank, options.init,
+                                   options.seed)
+        else:
+            require(len(initial_factors) == tensor.nmodes,
+                    "one initial factor per mode required")
+            factors = [np.array(f, dtype=float, copy=True)
+                       for f in initial_factors]
+        states = [AdmmState.from_factor(f) for f in factors]
 
     if engine is None:
         engine = MTTKRPEngine(tensor, repr_policy=options.repr_policy,
@@ -110,81 +161,146 @@ def fit_aoadmm(tensor: COOTensor,
                               threads=options.threads,
                               slab_nnz_target=options.slab_nnz_target)
         engine.trees.build_all()
+    if checkpoint is not None:
+        # Rebuild the dynamic factor representations (Section IV-C) the
+        # uninterrupted run would carry at this point — they are a pure
+        # function of the current factor values.
+        for mode, state in enumerate(states):
+            engine.update_factor(mode, state.primal)
 
-    states = [AdmmState.from_factor(f) for f in factors]
     gram_cache = GramCache([s.primal for s in states])
     norm_x_sq = tensor.norm_squared()
     criterion = ConvergenceCriterion(options.outer_tolerance,
                                      options.max_outer_iterations)
-    trace = FactorizationTrace()
-    trace.setup_seconds = time.perf_counter() - setup_start
+    if checkpoint is not None:
+        trace = checkpoint.trace
+        trace.setup_seconds += time.perf_counter() - setup_start
+    else:
+        trace = FactorizationTrace()
+        trace.setup_seconds = time.perf_counter() - setup_start
+
+    monitor: HealthMonitor | None = None
+    if options.guard_policy != "off":
+        monitor = HealthMonitor(options.guard_policy,
+                                options.divergence_patience)
+        monitor.commit(states,
+                       trace.final_error() if len(trace) else float("inf"),
+                       len(trace))
+    injector = options.fault_injector
 
     nmodes = tensor.nmodes
     converged = False
-    while True:
+    stop_reason = ""
+    if checkpoint is not None and len(trace):
+        # Replay the last recorded iteration's stop checks: a checkpoint
+        # taken exactly at a stopping point must stop immediately (with
+        # the same reason) instead of running one extra iteration; a
+        # mid-run checkpoint leaves the criterion in exactly the state
+        # the uninterrupted run had, so the resumed run stops where the
+        # uninterrupted one does.
+        errors = trace.errors()
+        criterion.restore(float(errors[-2]) if len(errors) >= 2 else None,
+                          len(errors) - 1)
+        if criterion.update(float(errors[-1])):
+            stop_reason = criterion.reason
+        if not stop_reason and options.callback is not None \
+                and options.callback(trace.records[-1]):
+            stop_reason = "callback"
+        if not stop_reason and options.time_budget_seconds is not None \
+                and trace.total_seconds() >= options.time_budget_seconds:
+            stop_reason = "time_budget"
+        converged = stop_reason == "tolerance"
+
+    last_rhos = [0.0] * nmodes
+    while not stop_reason:
+        iteration = len(trace) + 1
         mttkrp_seconds = 0.0
         admm_seconds = 0.0
         other_seconds = 0.0
         inner_iterations: list[int] = []
         block_reports: list[object] = []
+        jitter: list[float] = []
         last_mttkrp: np.ndarray | None = None
 
-        for mode in range(nmodes):
+        try:
+            for mode in range(nmodes):
+                tick = time.perf_counter()
+                gram = gram_cache.gram_excluding(mode)
+                other_seconds += time.perf_counter() - tick
+                if injector is not None:
+                    gram = injector.corrupt_gram(gram, iteration, mode)
+
+                tick = time.perf_counter()
+                current = [s.primal for s in states]
+                kmat = engine.mttkrp(current, mode)
+                mttkrp_seconds += time.perf_counter() - tick
+                if injector is not None:
+                    kmat = injector.corrupt_mttkrp(kmat, iteration, mode)
+                if monitor is not None:
+                    kmat = monitor.check_mttkrp(kmat, iteration, mode)
+
+                tick = time.perf_counter()
+                if options.blocked:
+                    report = blocked_admm_update(
+                        states[mode], kmat, gram, constraints[mode],
+                        rho_policy=rho_policy,
+                        tolerance=options.inner_tolerance,
+                        max_iterations=options.max_inner_iterations,
+                        block_size=options.block_size,
+                        threads=options.threads)
+                    inner_iterations.append(report.iterations)
+                else:
+                    report = admm_update(
+                        states[mode], kmat, gram, constraints[mode],
+                        rho_policy=rho_policy,
+                        tolerance=options.inner_tolerance,
+                        max_iterations=options.max_inner_iterations)
+                    inner_iterations.append(report.iterations)
+                admm_seconds += time.perf_counter() - tick
+                last_rhos[mode] = report.rho
+                jitter.append(report.jitter_added)
+                if options.track_block_reports:
+                    block_reports.append(report)
+                if monitor is not None:
+                    monitor.check_state(states[mode], iteration, mode)
+
+                tick = time.perf_counter()
+                gram_cache.set_factor(mode, states[mode].primal)
+                engine.update_factor(mode, states[mode].primal)
+                other_seconds += time.perf_counter() - tick
+
+                last_mttkrp = kmat
+
+            # Relative error from the last mode's MTTKRP: K was computed
+            # with the other factors at their current values, and only
+            # mode N-1's factor changed afterwards, so <X, X_hat> = <K,
+            # A_{N-1}>.
             tick = time.perf_counter()
-            gram = gram_cache.gram_excluding(mode)
+            assert last_mttkrp is not None
+            inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                    states[nmodes - 1].primal))
+            model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+            err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
+            relative_error = float(np.sqrt(err_sq / norm_x_sq))
             other_seconds += time.perf_counter() - tick
-
-            tick = time.perf_counter()
-            current = [s.primal for s in states]
-            kmat = engine.mttkrp(current, mode)
-            mttkrp_seconds += time.perf_counter() - tick
-
-            tick = time.perf_counter()
-            if options.blocked:
-                report = blocked_admm_update(
-                    states[mode], kmat, gram, constraints[mode],
-                    rho_policy=rho_policy,
-                    tolerance=options.inner_tolerance,
-                    max_iterations=options.max_inner_iterations,
-                    block_size=options.block_size,
-                    threads=options.threads)
-                inner_iterations.append(report.iterations)
-            else:
-                report = admm_update(
-                    states[mode], kmat, gram, constraints[mode],
-                    rho_policy=rho_policy,
-                    tolerance=options.inner_tolerance,
-                    max_iterations=options.max_inner_iterations)
-                inner_iterations.append(report.iterations)
-            admm_seconds += time.perf_counter() - tick
-            if options.track_block_reports:
-                block_reports.append(report)
-
-            tick = time.perf_counter()
-            gram_cache.set_factor(mode, states[mode].primal)
-            engine.update_factor(mode, states[mode].primal)
-            other_seconds += time.perf_counter() - tick
-
-            last_mttkrp = kmat
-
-        # Relative error from the last mode's MTTKRP: K was computed with
-        # the other factors at their current values, and only mode N-1's
-        # factor changed afterwards, so <X, X_hat> = <K, A_{N-1}>.
-        tick = time.perf_counter()
-        assert last_mttkrp is not None
-        inner = float(np.einsum("ij,ij->", last_mttkrp,
-                                states[nmodes - 1].primal))
-        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
-        err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
-        relative_error = float(np.sqrt(err_sq / norm_x_sq))
-        other_seconds += time.perf_counter() - tick
+            if injector is not None:
+                relative_error = injector.corrupt_error(relative_error,
+                                                        iteration)
+            if monitor is not None:
+                monitor.observe_error(relative_error, iteration)
+        except RollbackRequested as rollback:
+            assert monitor is not None
+            trace.guard_log.append(rollback.event)
+            monitor.restore(states)
+            stop_reason = rollback.stop_reason
+            break
 
         densities = tuple(density(s.primal, options.factor_zero_tol)
                           for s in states)
         representations = tuple(engine.representation(m)
                                 for m in range(nmodes))
         trace.append(OuterIterationRecord(
-            iteration=len(trace) + 1,
+            iteration=iteration,
             relative_error=relative_error,
             mttkrp_seconds=mttkrp_seconds,
             admm_seconds=admm_seconds,
@@ -193,9 +309,19 @@ def fit_aoadmm(tensor: COOTensor,
             factor_densities=densities,
             representations=representations,
             block_reports=tuple(block_reports) if block_reports else None,
+            jitter_added=tuple(jitter),
+            guard_events=(monitor.drain_iteration_events()
+                          if monitor is not None else ()),
         ))
 
         record = trace.records[-1]
+        if monitor is not None:
+            monitor.commit(states, relative_error, iteration)
+        if options.checkpoint_every is not None \
+                and iteration % options.checkpoint_every == 0:
+            save_checkpoint(options.checkpoint_path, tensor, options,
+                            states, trace, rhos=last_rhos)
+
         stop_reason = ""
         if criterion.update(relative_error):
             stop_reason = criterion.reason

@@ -29,6 +29,19 @@ class ConvergenceCriterion:
         """Iterations observed so far."""
         return self._iterations
 
+    def restore(self, previous_error: float | None, iterations: int) -> None:
+        """Reinstate mid-run progress (checkpoint resume).
+
+        After ``restore(err_k, k)`` the criterion behaves exactly as it
+        did right after observing iteration ``k`` of the original run,
+        so a resumed factorization stops at the same iteration an
+        uninterrupted one would.
+        """
+        require(iterations >= 0, "iteration count must be non-negative")
+        self._previous = (None if previous_error is None
+                          else float(previous_error))
+        self._iterations = int(iterations)
+
     def update(self, relative_error: float) -> bool:
         """Record one outer iteration's error; True when the loop should stop.
 

@@ -51,6 +51,22 @@ class AOADMMOptions:
         Non-zeros per MTTKRP slab for the engine's CSF tilings
         (Section IV-A slice parallelism).  ``None`` uses
         :data:`repro.config.DEFAULT_SLAB_NNZ`.
+    guard_policy:
+        Numerical-guard reaction (see :mod:`repro.robustness.guards`):
+        ``"raise"`` (default — abort loudly on NaN/Inf/divergence),
+        ``"rollback"`` (restore the best iterate and stop), ``"repair"``
+        (zero the bad entries and continue), or ``"off"``.
+    divergence_patience:
+        Consecutive error-rising iterations counted as divergence.
+    checkpoint_every:
+        Write a resumable checkpoint every this many outer iterations
+        (requires ``checkpoint_path``); ``None`` disables checkpointing.
+    checkpoint_path:
+        ``.npz`` destination for checkpoints (overwritten atomically on
+        each write; see :mod:`repro.robustness.checkpoint`).
+    fault_injector:
+        A :class:`repro.robustness.faults.FaultInjector` for testing the
+        guards; ``None`` (the default) in production runs.
     """
 
     rank: int = 10
@@ -77,6 +93,11 @@ class AOADMMOptions:
     #: Stop once the accumulated factorization time exceeds this many
     #: seconds (checked between outer iterations; stop_reason "time_budget").
     time_budget_seconds: float | None = None
+    guard_policy: str = "raise"
+    divergence_patience: int = 3
+    checkpoint_every: int | None = None
+    checkpoint_path: object = None
+    fault_injector: object = None
 
     def __post_init__(self) -> None:
         require(self.rank >= 1, "rank must be positive")
@@ -92,6 +113,15 @@ class AOADMMOptions:
                     "time budget must be positive")
         if self.callback is not None:
             require(callable(self.callback), "callback must be callable")
+        require(self.guard_policy in ("off", "raise", "rollback", "repair"),
+                f"unknown guard policy {self.guard_policy!r}")
+        require(self.divergence_patience >= 1,
+                "divergence patience must be at least 1")
+        if self.checkpoint_every is not None:
+            require(self.checkpoint_every >= 1,
+                    "checkpoint_every must be positive")
+            require(self.checkpoint_path is not None,
+                    "checkpoint_every requires checkpoint_path")
 
     def resolve_constraints(self, nmodes: int) -> list[Constraint]:
         """Materialize one constraint instance per mode."""

@@ -1,12 +1,22 @@
-"""CP model persistence and objective evaluation.
+"""CP model / optimizer-state persistence and objective evaluation.
 
 Save/load uses NumPy's ``.npz`` container — one array per factor plus
 optional weights — matching what the CLI's ``--output`` writes, so models
 round-trip between the API and the command line.
+
+The lower half of the module is the generic state-persistence layer the
+checkpoint subsystem (:mod:`repro.robustness.checkpoint`) builds on:
+atomic ``.npz`` writes with a JSON metadata side-channel, and stable
+content fingerprints for integrity checks.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import re
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -17,6 +27,9 @@ from ..validation import require
 from .cpd import CPModel
 
 _WEIGHTS_KEY = "weights"
+_MODE_KEY = re.compile(r"mode(\d+)")
+#: Reserved key carrying the JSON metadata blob in state ``.npz`` files.
+_META_KEY = "__meta__"
 
 
 def save_model(model: CPModel, path: str | Path) -> Path:
@@ -35,8 +48,11 @@ def save_model(model: CPModel, path: str | Path) -> Path:
 def load_model(path: str | Path) -> CPModel:
     """Read a :class:`CPModel` previously written by :func:`save_model`."""
     with np.load(Path(path)) as data:
-        modes = sorted(k for k in data.files if k.startswith("mode"))
-        require(modes, f"{path} contains no factor arrays")
+        # Sort numerically: lexicographic order breaks at >= 10 modes
+        # ("mode10" < "mode2").
+        modes = sorted((k for k in data.files if _MODE_KEY.fullmatch(k)),
+                       key=lambda k: int(_MODE_KEY.fullmatch(k).group(1)))
+        require(bool(modes), f"{path} contains no factor arrays")
         # Validate contiguous mode numbering.
         expected = [f"mode{m}" for m in range(len(modes))]
         require(modes == expected,
@@ -45,6 +61,65 @@ def load_model(path: str | Path) -> CPModel:
         weights = (np.array(data[_WEIGHTS_KEY])
                    if _WEIGHTS_KEY in data.files else None)
     return CPModel(factors, weights)
+
+
+# ----------------------------------------------------------------------
+# Generic state persistence (checkpoint substrate)
+# ----------------------------------------------------------------------
+
+def array_fingerprint(*arrays: np.ndarray) -> str:
+    """Order-sensitive SHA-1 over the raw bytes of *arrays*.
+
+    Used to fingerprint tensors (coords + values) and factor sets (the
+    Gram-cache inputs) so a resumed run can verify it is continuing from
+    exactly the state that was checkpointed.
+    """
+    digest = hashlib.sha1()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
+                   meta: dict) -> Path:
+    """Atomically write *arrays* plus a JSON *meta* blob to ``path``.
+
+    The write goes through a temporary file in the destination directory
+    followed by ``os.replace``, so a crash mid-checkpoint can never leave
+    a truncated file where a good previous checkpoint used to be.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    require(_META_KEY not in arrays,
+            f"array key {_META_KEY!r} is reserved for metadata")
+    payload = dict(arrays)
+    payload[_META_KEY] = np.array(json.dumps(meta, sort_keys=True))
+    fd, tmp_name = tempfile.mkstemp(suffix=".npz", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def load_state_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read back ``(arrays, meta)`` written by :func:`save_state_npz`."""
+    path = Path(path)
+    with np.load(path) as data:
+        require(_META_KEY in data.files,
+                f"{path} is not a repro state file (missing metadata)")
+        meta = json.loads(str(data[_META_KEY]))
+        arrays = {k: np.array(data[k]) for k in data.files
+                  if k != _META_KEY}
+    return arrays, meta
 
 
 def penalized_objective(model: CPModel, tensor: COOTensor,

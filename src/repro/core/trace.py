@@ -35,10 +35,21 @@ class OuterIterationRecord:
     #: Optional: per-mode blocked reports (block rows + iterations); only
     #: retained when options.track_block_reports is set.
     block_reports: tuple[object, ...] | None = None
+    #: Per-mode diagonal jitter the Cholesky path had to add to repair a
+    #: rank-deficient / indefinite Gram (0.0 everywhere in healthy runs).
+    jitter_added: tuple[float, ...] = ()
+    #: Guard events (:class:`repro.robustness.guards.GuardEvent`) that
+    #: fired during this iteration — repairs the run survived.
+    guard_events: tuple[object, ...] = ()
 
     @property
     def total_seconds(self) -> float:
         return self.mttkrp_seconds + self.admm_seconds + self.other_seconds
+
+    @property
+    def total_jitter(self) -> float:
+        """Summed diagonal jitter across this iteration's mode updates."""
+        return float(sum(self.jitter_added))
 
 
 @dataclass
@@ -48,6 +59,9 @@ class FactorizationTrace:
     records: list[OuterIterationRecord] = field(default_factory=list)
     #: Seconds spent before the first iteration (init, CSF builds).
     setup_seconds: float = 0.0
+    #: Run-level guard events that did not land in a completed record —
+    #: i.e. the rollback/divergence event that aborted an iteration.
+    guard_log: list = field(default_factory=list)
 
     def append(self, record: OuterIterationRecord) -> None:
         self.records.append(record)
@@ -82,6 +96,23 @@ class FactorizationTrace:
         """Total factorization wall-clock (Table II's metric)."""
         return self.setup_seconds + float(
             sum(r.total_seconds for r in self.records))
+
+    def total_jitter(self) -> float:
+        """Summed Cholesky jitter over the whole run (numerical repairs)."""
+        return float(sum(r.total_jitter for r in self.records))
+
+    def guard_events(self) -> list:
+        """Every guard event of the run, in firing order.
+
+        Concatenates the per-record events (repairs within completed
+        iterations) with :attr:`guard_log` (the aborting event of a
+        rollback/divergence stop, whose iteration never completed).
+        """
+        out: list = []
+        for record in self.records:
+            out.extend(record.guard_events)
+        out.extend(self.guard_log)
+        return out
 
     def final_error(self) -> float:
         """Relative error of the returned model."""

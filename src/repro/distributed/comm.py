@@ -22,6 +22,22 @@ import numpy as np
 from ..validation import require
 
 
+class WorkerFailure(RuntimeError):
+    """A simulated rank failed or timed out during its local compute.
+
+    ``kind`` is ``"crash"`` (permanent — the rank is gone) or
+    ``"timeout"`` (transient — a retry may succeed).  Raised by the
+    fault-injection harness inside a rank's local MTTKRP; the
+    distributed driver catches it and retries or re-partitions.
+    """
+
+    def __init__(self, rank: int, kind: str = "crash", detail: str = ""):
+        self.rank = int(rank)
+        self.kind = kind
+        super().__init__(f"rank {rank} {kind}"
+                         + (f": {detail}" if detail else ""))
+
+
 @dataclass(frozen=True)
 class CollectiveRecord:
     """One logged collective operation."""
@@ -81,6 +97,19 @@ class SimComm:
         self.log.records.append(
             CollectiveRecord(op=op, bytes_on_wire=bytes_on_wire,
                              seconds=seconds))
+
+    def without_rank(self, rank: int) -> "SimComm":
+        """A world with *rank* removed (failover re-partition fallback).
+
+        The returned communicator shares this one's :class:`CollectiveLog`
+        so the accounting spans the whole run, pre- and post-failover.
+        """
+        require(self.size > 1, "cannot remove the last rank")
+        require(0 <= rank < self.size, f"rank {rank} out of range")
+        shrunk = SimComm(self.size - 1, latency=self.latency,
+                         bandwidth=self.bandwidth)
+        shrunk.log = self.log
+        return shrunk
 
     # ------------------------------------------------------------------
     def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:

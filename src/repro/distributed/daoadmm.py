@@ -18,6 +18,17 @@ module is the *communication accounting* (bytes, collective counts, and
 a latency/bandwidth time estimate) and the per-rank compute times it
 reports, which together give the strong-scaling estimate in
 ``benchmarks/bench_distributed_scaling.py``.
+
+Fault tolerance: a rank that fails or times out during its local MTTKRP
+(simulated via :class:`repro.robustness.faults.WorkerFaultPlan`, raising
+:class:`~repro.distributed.comm.WorkerFailure`) is first retried
+(``max_retries``); a rank that keeps failing is dropped — the tensor is
+re-partitioned over the survivors, the shard engines are rebuilt, and
+the run continues.  A retried rank changes nothing (local MTTKRPs are
+idempotent, so the retried trace is bit-identical to the healthy one);
+a re-partition preserves the math but sums the allreduce over a
+different shard count, so the post-failover trace matches the healthy
+run to floating-point summation order (~1 ulp; tested).
 """
 
 from __future__ import annotations
@@ -40,8 +51,25 @@ from ..linalg.grams import GramCache
 from ..sparse.analysis import density
 from ..tensor.coo import COOTensor
 from ..validation import require
-from .comm import CollectiveLog, SimComm
+from .comm import CollectiveLog, SimComm, WorkerFailure
 from .partition import DistributedPartition, partition_tensor
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One handled worker failure (what happened and what was done)."""
+
+    #: Outer iteration (1-based) during which the failure occurred.
+    iteration: int
+    #: Mode whose local MTTKRP the rank was computing.
+    mode: int
+    #: Original rank id (stable across re-partitions).
+    rank: int
+    #: ``"crash"`` or ``"timeout"``.
+    kind: str
+    #: ``"retry"`` (the rank was retried) or ``"repartition"`` (the rank
+    #: was dropped and its shard redistributed over the survivors).
+    action: str
 
 
 @dataclass
@@ -56,8 +84,12 @@ class DistributedResult:
     #: Communication accounting from the simulated communicator.
     comm_log: CollectiveLog
     #: Per-rank compute seconds (MTTKRP + ADMM), summed over the run.
+    #: Indexed by *original* rank id; a dropped rank stops accumulating.
     rank_compute_seconds: tuple[float, ...]
+    #: The final partition (post-failover when ranks were dropped).
     partition: DistributedPartition
+    #: Every handled worker failure, in order (empty in healthy runs).
+    failover_events: tuple[FailoverEvent, ...] = ()
 
     @property
     def relative_error(self) -> float:
@@ -78,7 +110,9 @@ def fit_aoadmm_distributed(tensor: COOTensor,
                            options: AOADMMOptions | None = None,
                            ranks: int = 4,
                            comm: SimComm | None = None,
-                           initial_factors: list[np.ndarray] | None = None
+                           initial_factors: list[np.ndarray] | None = None,
+                           fault_plan: object = None,
+                           max_retries: int = 1
                            ) -> DistributedResult:
     """Factorize *tensor* with the distributed blocked AO-ADMM.
 
@@ -88,6 +122,13 @@ def fit_aoadmm_distributed(tensor: COOTensor,
         Simulated world size.
     comm:
         A pre-built :class:`SimComm` (for custom network parameters).
+    fault_plan:
+        A :class:`repro.robustness.faults.WorkerFaultPlan` (or anything
+        with its ``maybe_fail(rank, iteration, mode)`` protocol) that
+        injects simulated worker failures; ``None`` in production runs.
+    max_retries:
+        Failed-worker retries per failure before the rank is dropped and
+        the tensor re-partitioned over the survivors.
 
     Notes
     -----
@@ -105,6 +146,7 @@ def fit_aoadmm_distributed(tensor: COOTensor,
         require(c.row_separable,
                 f"constraint {c.name!r} is not row separable")
     rho_policy = make_rho_policy(options.rho_policy)
+    require(max_retries >= 0, "max_retries must be non-negative")
     comm = comm or SimComm(ranks)
     require(comm.size == ranks, "comm world size must match ranks")
 
@@ -114,6 +156,9 @@ def fit_aoadmm_distributed(tensor: COOTensor,
     engines = [MTTKRPEngine(shard) for shard in partition.shards]
     for engine in engines:
         engine.trees.build_all()
+    #: Original ids of the ranks still alive (index = current rank).
+    live = list(range(ranks))
+    failover: list[FailoverEvent] = []
 
     if initial_factors is None:
         factors = init_factors(tensor, options.rank, options.init,
@@ -132,9 +177,12 @@ def fit_aoadmm_distributed(tensor: COOTensor,
 
     nmodes = tensor.nmodes
     converged = False
+    iteration = 0
     while True:
+        iteration += 1
         mttkrp_seconds = admm_seconds = other_seconds = 0.0
         inner_iterations: list[int] = []
+        jitter: list[float] = []
         last_mttkrp: np.ndarray | None = None
 
         for mode in range(nmodes):
@@ -142,14 +190,45 @@ def fit_aoadmm_distributed(tensor: COOTensor,
             gram = gram_cache.gram_excluding(mode)
             other_seconds += time.perf_counter() - tick
 
-            # (1) local MTTKRPs, (2) allreduce.
+            # (1) local MTTKRPs, (2) allreduce.  A failing rank is
+            # retried; one that keeps failing is dropped and the tensor
+            # re-partitioned over the survivors (local MTTKRPs are
+            # idempotent, so recomputing after a failure is safe).
             current = [s.primal for s in states]
-            locals_k = []
+            retries_left = max_retries
             tick_all = time.perf_counter()
-            for r in range(ranks):
-                tick = time.perf_counter()
-                locals_k.append(engines[r].mttkrp(current, mode))
-                rank_seconds[r] += time.perf_counter() - tick
+            while True:
+                try:
+                    locals_k = []
+                    for r, orig in enumerate(live):
+                        tick = time.perf_counter()
+                        if fault_plan is not None:
+                            fault_plan.maybe_fail(orig, iteration, mode)
+                        locals_k.append(engines[r].mttkrp(current, mode))
+                        rank_seconds[orig] += time.perf_counter() - tick
+                    break
+                except WorkerFailure as failure:
+                    if retries_left > 0:
+                        retries_left -= 1
+                        failover.append(FailoverEvent(
+                            iteration=iteration, mode=mode,
+                            rank=failure.rank, kind=failure.kind,
+                            action="retry"))
+                        continue
+                    if len(live) == 1:
+                        raise  # no survivor to fail over to
+                    failover.append(FailoverEvent(
+                        iteration=iteration, mode=mode, rank=failure.rank,
+                        kind=failure.kind, action="repartition"))
+                    comm = comm.without_rank(live.index(failure.rank))
+                    live.remove(failure.rank)
+                    partition = partition_tensor(
+                        tensor, len(live), block_size=options.block_size)
+                    engines = [MTTKRPEngine(shard)
+                               for shard in partition.shards]
+                    for engine in engines:
+                        engine.trees.build_all()
+                    retries_left = max_retries
             mttkrp_seconds += time.perf_counter() - tick_all
             kmat = comm.allreduce_sum(locals_k)
 
@@ -157,6 +236,7 @@ def fit_aoadmm_distributed(tensor: COOTensor,
             tick_all = time.perf_counter()
             parts = []
             max_inner = 0
+            mode_jitter = 0.0
             for r, rng in enumerate(partition.factor_ranges[mode]):
                 tick = time.perf_counter()
                 local_state = AdmmState(states[mode].primal[rng].copy(),
@@ -170,10 +250,12 @@ def fit_aoadmm_distributed(tensor: COOTensor,
                         block_size=options.block_size,
                         threads=1)
                     max_inner = max(max_inner, report.iterations)
+                    mode_jitter = max(mode_jitter, report.jitter_added)
                 parts.append(local_state)
-                rank_seconds[r] += time.perf_counter() - tick
+                rank_seconds[live[r]] += time.perf_counter() - tick
             admm_seconds += time.perf_counter() - tick_all
             inner_iterations.append(max_inner)
+            jitter.append(mode_jitter)
 
             # (4) allgather the updated rows (and duals stay local, but we
             # reassemble them too since every rank re-enters ADMM warm).
@@ -203,7 +285,8 @@ def fit_aoadmm_distributed(tensor: COOTensor,
             factor_densities=tuple(
                 density(s.primal, options.factor_zero_tol)
                 for s in states),
-            representations=tuple("dense" for _ in range(nmodes))))
+            representations=tuple("dense" for _ in range(nmodes)),
+            jitter_added=tuple(jitter)))
         if criterion.update(err):
             converged = criterion.reason == "tolerance"
             break
@@ -213,4 +296,4 @@ def fit_aoadmm_distributed(tensor: COOTensor,
         model=model, trace=trace, converged=converged,
         stop_reason=criterion.reason, options=options,
         comm_log=comm.log, rank_compute_seconds=tuple(rank_seconds),
-        partition=partition)
+        partition=partition, failover_events=tuple(failover))

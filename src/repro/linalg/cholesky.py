@@ -37,18 +37,24 @@ class CholeskyFactor:
             scale = 1.0
         attempt = matrix
         added = 0.0
+        attempts = 0
         while True:
             try:
+                attempts += 1
                 self._cho = scipy.linalg.cho_factor(
                     attempt, lower=True, check_finite=False)
                 break
             except np.linalg.LinAlgError:
                 added = jitter * scale if added == 0.0 else added * 10.0
                 require(added < scale * 1e3,
-                        "matrix is numerically indefinite beyond repair")
+                        f"{self.size}x{self.size} matrix is numerically "
+                        "indefinite beyond repair (jitter escalation "
+                        f"exhausted after {attempts} attempts)")
                 attempt = matrix + added * np.eye(self.size)
         #: Diagonal jitter that was actually added (0.0 in the common case).
         self.jitter_added = added
+        #: Factorization attempts (1 = clean; >1 = jitter escalation ran).
+        self.attempts = attempts
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``(G) x = rhs`` via forward/backward substitution.

@@ -1,0 +1,44 @@
+"""Fault tolerance for long factorization runs.
+
+The paper's Table 1 workloads run for hundreds of outer iterations; a
+single non-finite value escaping a kernel, or a crash at iteration 190,
+must not cost the whole run.  This package supplies three layers:
+
+* :mod:`repro.robustness.guards` — the :class:`HealthMonitor` numerical
+  guards wired into the AO-ADMM driver (NaN/Inf detection, objective
+  divergence) with ``raise`` / ``rollback`` / ``repair`` policies;
+* :mod:`repro.robustness.checkpoint` — periodic full-state checkpoints
+  and bit-identical resume (``fit_aoadmm(..., resume_from=...)``);
+* :mod:`repro.robustness.faults` — a deterministic fault-injection
+  harness used by ``tests/test_robustness.py`` to prove every guard
+  actually fires.
+"""
+
+from .guards import (
+    GUARD_POLICIES,
+    GuardEvent,
+    HealthMonitor,
+    NumericalFaultError,
+)
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from .faults import FaultInjector, FaultSpec, WorkerFault, WorkerFaultPlan
+
+__all__ = [
+    "GUARD_POLICIES",
+    "GuardEvent",
+    "HealthMonitor",
+    "NumericalFaultError",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "verify_checkpoint",
+    "FaultInjector",
+    "FaultSpec",
+    "WorkerFault",
+    "WorkerFaultPlan",
+]

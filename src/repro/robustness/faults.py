@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the robustness test suite.
+
+Guards that are never exercised rot.  This module injects the exact
+failure classes the guards exist for — NaN in a kernel output, an
+indefinite Gram handed to the Cholesky path, a diverging objective, and
+a failed/timed-out distributed worker — at predetermined (iteration,
+mode) points, so ``tests/test_robustness.py`` can prove each guard fires
+and each recovery path works.  Everything is deterministic: no
+randomness, no monkeypatching — the drivers call the injector at their
+hook points when one is configured.
+
+Shared-memory driver
+    Pass a :class:`FaultInjector` via ``AOADMMOptions.fault_injector``;
+    ``fit_aoadmm`` routes every MTTKRP output, composed Gram, and
+    relative error through it.
+
+Distributed driver
+    Pass a :class:`WorkerFaultPlan` to ``fit_aoadmm_distributed``; the
+    plan raises :class:`~repro.distributed.comm.WorkerFailure` inside a
+    rank's local MTTKRP, exercising the retry and re-partition fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributed.comm import WorkerFailure
+from ..validation import require
+
+#: Fault classes understood by :class:`FaultInjector`.
+FAULT_KINDS = ("mttkrp_nan", "indefinite_gram", "diverge_error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault for the shared-memory driver.
+
+    ``once=True`` fires exactly at ``iteration`` (and ``mode``, when
+    given) and is then spent; ``once=False`` fires at every matching
+    point from ``iteration`` onwards — that is how a *sustained*
+    divergence is staged.
+    """
+
+    kind: str
+    #: Outer iteration (1-based) at which the fault fires.
+    iteration: int
+    #: Mode to hit; ``None`` matches any mode (kind-dependent).
+    mode: int | None = None
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS,
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        require(self.iteration >= 1, "fault iteration is 1-based")
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that was actually injected (the harness's audit log)."""
+
+    kind: str
+    iteration: int
+    mode: int | None
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultSpec` at the driver's hook points."""
+
+    def __init__(self, faults: list[FaultSpec] | tuple[FaultSpec, ...]):
+        self.faults = list(faults)
+        self._spent: set[int] = set()
+        #: Everything injected so far, in order.
+        self.injected: list[InjectionRecord] = []
+
+    def _match(self, kind: str, iteration: int, mode: int | None) -> bool:
+        for i, f in enumerate(self.faults):
+            if f.kind != kind or (i in self._spent):
+                continue
+            if f.mode is not None and mode is not None and f.mode != mode:
+                continue
+            hit = (iteration == f.iteration if f.once
+                   else iteration >= f.iteration)
+            if not hit:
+                continue
+            if f.once:
+                self._spent.add(i)
+            self.injected.append(InjectionRecord(kind, iteration, mode))
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Hook points (called by fit_aoadmm when an injector is configured)
+    # ------------------------------------------------------------------
+    def corrupt_mttkrp(self, kmat: np.ndarray, iteration: int,
+                       mode: int) -> np.ndarray:
+        """Poison one entry of the MTTKRP output with NaN."""
+        if not self._match("mttkrp_nan", iteration, mode):
+            return kmat
+        out = np.array(kmat, copy=True)
+        out.flat[0] = np.nan
+        return out
+
+    def corrupt_gram(self, gram: np.ndarray, iteration: int,
+                     mode: int) -> np.ndarray:
+        """Make the composed Gram indefinite (negative leading diagonal)."""
+        if not self._match("indefinite_gram", iteration, mode):
+            return gram
+        shift = float(np.trace(gram)) + 1.0
+        return gram - shift * np.eye(gram.shape[0])
+
+    def corrupt_error(self, error: float, iteration: int) -> float:
+        """Inflate the relative error to stage objective divergence."""
+        if not self._match("diverge_error", iteration, None):
+            return error
+        return error * 10.0 + 1.0
+
+
+# ----------------------------------------------------------------------
+# Distributed worker faults
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled worker failure for the distributed driver.
+
+    ``kind="timeout"`` is transient: it fires once and the retry
+    succeeds.  ``kind="crash"`` is permanent: the rank keeps failing
+    from ``iteration`` on, so after the retry budget is exhausted the
+    driver drops it and re-partitions the tensor over the survivors.
+    """
+
+    rank: int
+    #: Outer iteration (1-based) from which the fault is active.
+    iteration: int
+    #: Mode during which to fire; ``None`` matches any mode.
+    mode: int | None = None
+    kind: str = "crash"
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("crash", "timeout"),
+                f"unknown worker fault kind {self.kind!r}")
+        require(self.rank >= 0, "rank must be non-negative")
+        require(self.iteration >= 1, "fault iteration is 1-based")
+
+
+@dataclass
+class WorkerFaultPlan:
+    """Schedule of :class:`WorkerFault` consulted by the distributed driver.
+
+    Ranks are identified by their *original* index at launch; the driver
+    keeps the mapping stable across re-partitions.
+    """
+
+    faults: list[WorkerFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._spent: set[int] = set()
+        #: Failures actually raised, in order.
+        self.fired: list[WorkerFault] = []
+
+    def maybe_fail(self, rank: int, iteration: int, mode: int) -> None:
+        """Raise :class:`WorkerFailure` if a fault is scheduled here."""
+        for i, f in enumerate(self.faults):
+            if f.rank != rank or i in self._spent:
+                continue
+            if f.mode is not None and f.mode != mode:
+                continue
+            if f.kind == "timeout":
+                if iteration != f.iteration:
+                    continue
+                self._spent.add(i)  # transient: the retry succeeds
+            elif iteration < f.iteration:
+                continue
+            self.fired.append(f)
+            raise WorkerFailure(rank=rank, kind=f.kind,
+                                detail=f"scheduled at iteration "
+                                       f"{f.iteration}")

@@ -117,6 +117,28 @@ class TestCholesky:
         out = chol.solve(np.ones(3))
         assert np.isfinite(out).all()
 
+    def test_jitter_escalation_repairs_indefinite(self):
+        """A slightly indefinite matrix is repaired by escalating jitter,
+        and the escalation is observable (jitter_added, attempts)."""
+        indefinite = np.diag([1.0, -0.5])
+        chol = CholeskyFactor(indefinite)
+        assert chol.jitter_added > 0.0
+        assert chol.attempts > 1
+        assert np.isfinite(chol.solve(np.ones(2))).all()
+
+    def test_clean_factorization_reports_no_jitter(self, rng):
+        a = rng.standard_normal((4, 4))
+        chol = CholeskyFactor(a @ a.T + 4 * np.eye(4))
+        assert chol.jitter_added == 0.0
+        assert chol.attempts == 1
+
+    def test_beyond_repair_fails_cleanly(self):
+        """When the escalation budget is exhausted the constructor fails
+        with a clear message instead of looping or returning garbage."""
+        hopeless = np.diag([1.0, -2000.0])
+        with pytest.raises(ValueError, match="beyond repair"):
+            CholeskyFactor(hopeless)
+
     def test_spd_solve_vector(self, rng):
         spd = np.diag([1.0, 2.0, 4.0])
         np.testing.assert_allclose(spd_solve(spd, np.array([1.0, 2.0, 4.0])),

@@ -1,0 +1,433 @@
+"""Fault injection, numerical guards, checkpoint/resume, and failover.
+
+Every fault class the harness can inject is proven to be detected and
+handled per the configured policy — no injected NaN ever reaches a
+returned model silently — and a checkpointed run is proven to resume
+bit-identically against an uninterrupted reference run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.distributed.comm import WorkerFailure
+from repro.distributed.daoadmm import fit_aoadmm_distributed
+from repro.robustness import (
+    Checkpoint,
+    FaultInjector,
+    FaultSpec,
+    GuardEvent,
+    HealthMonitor,
+    NumericalFaultError,
+    WorkerFault,
+    WorkerFaultPlan,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robustness.checkpoint import options_fingerprint
+from repro.tensor import noisy_lowrank_coo
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    t, _ = noisy_lowrank_coo((30, 25, 20), rank=4, nnz=2000, seed=0)
+    return t
+
+
+def make_options(**kw):
+    base = dict(rank=4, constraints="nonneg", seed=0,
+                max_outer_iterations=10, outer_tolerance=0.0)
+    base.update(kw)
+    return AOADMMOptions(**base)
+
+
+# ----------------------------------------------------------------------
+# Numerical guards vs injected faults
+# ----------------------------------------------------------------------
+
+class TestGuardPolicies:
+    def test_mttkrp_nan_raises_by_default(self, tensor):
+        inj = FaultInjector([FaultSpec("mttkrp_nan", iteration=3, mode=1)])
+        with pytest.raises(NumericalFaultError) as excinfo:
+            fit_aoadmm(tensor, make_options(fault_injector=inj))
+        event = excinfo.value.event
+        assert event.site == "mttkrp"
+        assert event.iteration == 3 and event.mode == 1
+        assert inj.injected  # the fault really fired
+
+    def test_mttkrp_nan_rollback_restores_best(self, tensor):
+        inj = FaultInjector([FaultSpec("mttkrp_nan", iteration=3, mode=1)])
+        result = fit_aoadmm(tensor, make_options(
+            guard_policy="rollback", fault_injector=inj))
+        assert result.stop_reason == "rollback"
+        assert result.iterations == 2  # iterations before the fault
+        assert all(np.isfinite(f).all() for f in result.model.factors)
+        assert len(result.trace.guard_log) == 1
+        assert result.trace.guard_log[0].action == "rollback"
+
+    def test_mttkrp_nan_repair_continues(self, tensor):
+        inj = FaultInjector([FaultSpec("mttkrp_nan", iteration=3, mode=1)])
+        result = fit_aoadmm(tensor, make_options(
+            guard_policy="repair", fault_injector=inj))
+        assert result.stop_reason == "max_iterations"
+        assert all(np.isfinite(f).all() for f in result.model.factors)
+        events = result.trace.guard_events()
+        assert [e.action for e in events] == ["repair"]
+        assert result.trace.records[2].guard_events == (events[0],)
+
+    def test_indefinite_gram_survives_via_jitter(self, tensor):
+        """An indefinite Gram is repaired by Cholesky jitter escalation,
+        and the jitter shows up in the trace (satellite 4)."""
+        inj = FaultInjector([
+            FaultSpec("indefinite_gram", iteration=2, mode=0)])
+        result = fit_aoadmm(tensor, make_options(
+            max_outer_iterations=5, fault_injector=inj))
+        assert result.iterations >= 2  # the run survived the bad Gram
+        assert result.trace.total_jitter() > 0.0
+        assert result.trace.records[1].total_jitter > 0.0
+        assert result.trace.records[0].total_jitter == 0.0
+        assert all(np.isfinite(f).all() for f in result.model.factors)
+
+    def test_divergence_rollback(self, tensor):
+        inj = FaultInjector([
+            FaultSpec("diverge_error", iteration=3, once=False)])
+        result = fit_aoadmm(tensor, make_options(
+            max_outer_iterations=20, guard_policy="rollback",
+            divergence_patience=1, fault_injector=inj))
+        assert result.stop_reason == "diverged"
+        # The best (pre-divergence) iterate is returned, not the last.
+        assert result.iterations == 2
+        healthy = fit_aoadmm(tensor, make_options(max_outer_iterations=2))
+        for a, b in zip(result.model.factors, healthy.model.factors):
+            np.testing.assert_array_equal(a, b)
+
+    def test_divergence_raises_under_raise_policy(self, tensor):
+        inj = FaultInjector([
+            FaultSpec("diverge_error", iteration=3, once=False)])
+        with pytest.raises(NumericalFaultError, match="divergence"):
+            fit_aoadmm(tensor, make_options(
+                max_outer_iterations=20, divergence_patience=1,
+                fault_injector=inj))
+
+    def test_guard_off_is_allowed_but_explicit(self, tensor):
+        """guard_policy='off' runs the loop unguarded (opt-in only)."""
+        result = fit_aoadmm(tensor, make_options(
+            max_outer_iterations=3, guard_policy="off"))
+        assert not result.trace.guard_events()
+
+    def test_no_silent_nan_under_any_guarded_policy(self, tensor):
+        """Whatever the (non-off) policy, an injected NaN never reaches
+        the returned model."""
+        for policy in ("raise", "rollback", "repair"):
+            inj = FaultInjector([
+                FaultSpec("mttkrp_nan", iteration=2, mode=0)])
+            try:
+                result = fit_aoadmm(tensor, make_options(
+                    max_outer_iterations=4, guard_policy=policy,
+                    fault_injector=inj))
+            except NumericalFaultError:
+                assert policy == "raise"
+                continue
+            assert all(np.isfinite(f).all() for f in result.model.factors)
+            assert np.isfinite(result.trace.errors()).all()
+
+    def test_monitor_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(policy="bogus")
+        with pytest.raises(ValueError):
+            HealthMonitor(divergence_patience=0)
+        with pytest.raises(ValueError):
+            AOADMMOptions(guard_policy="bogus")
+
+    def test_guard_event_round_trip(self):
+        event = GuardEvent(iteration=4, kind="nonfinite", site="mttkrp",
+                           action="repair", mode=2, detail="1 entry")
+        assert GuardEvent.from_dict(event.to_dict()) == event
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("blocked", [True, False])
+    def test_kill_and_resume_is_bit_identical(self, tensor, tmp_path,
+                                              blocked):
+        """Interrupt at iteration 5, resume to 10: the resumed trace and
+        model match an uninterrupted 10-iteration run exactly."""
+        full = fit_aoadmm(tensor, make_options(blocked=blocked))
+        path = tmp_path / "ck.npz"
+        partial = fit_aoadmm(tensor, make_options(
+            blocked=blocked, max_outer_iterations=5,
+            checkpoint_every=5, checkpoint_path=path))
+        assert partial.iterations == 5 and path.exists()
+        resumed = fit_aoadmm(tensor, make_options(blocked=blocked),
+                             resume_from=path)
+        np.testing.assert_array_equal(full.trace.errors(),
+                                      resumed.trace.errors())
+        for a, b in zip(full.model.factors, resumed.model.factors):
+            np.testing.assert_array_equal(a, b)
+        assert resumed.stop_reason == full.stop_reason
+
+    def test_resume_respects_stopping_rules(self, tensor, tmp_path):
+        """A resumed run with the same budget stops immediately."""
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=4, checkpoint_every=2,
+            checkpoint_path=path))
+        resumed = fit_aoadmm(tensor, make_options(max_outer_iterations=4),
+                             resume_from=path)
+        assert resumed.iterations == 4
+        assert resumed.stop_reason == "max_iterations"
+
+    def test_checkpoint_round_trip_fields(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        result = fit_aoadmm(tensor, make_options(
+            max_outer_iterations=3, checkpoint_every=3,
+            checkpoint_path=path))
+        checkpoint = load_checkpoint(path)
+        assert isinstance(checkpoint, Checkpoint)
+        assert checkpoint.iteration == 3
+        assert len(checkpoint.primals) == 3
+        np.testing.assert_array_equal(checkpoint.trace.errors(),
+                                      result.trace.errors())
+        assert checkpoint.last_error == result.relative_error
+        assert checkpoint.meta["rng"]["seed"] == 0
+        for primal, factor in zip(checkpoint.primals,
+                                  result.model.factors):
+            np.testing.assert_array_equal(primal, factor)
+
+    def test_resume_accepts_loaded_checkpoint(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=5, checkpoint_every=5,
+            checkpoint_path=path))
+        via_path = fit_aoadmm(tensor, make_options(), resume_from=path)
+        via_object = fit_aoadmm(tensor, make_options(),
+                                resume_from=load_checkpoint(path))
+        np.testing.assert_array_equal(via_path.trace.errors(),
+                                      via_object.trace.errors())
+
+    def test_wrong_tensor_rejected(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=2, checkpoint_every=2,
+            checkpoint_path=path))
+        other, _ = noisy_lowrank_coo((30, 25, 20), rank=4, nnz=2000,
+                                     seed=1)
+        with pytest.raises(ValueError, match="different tensor"):
+            fit_aoadmm(other, make_options(), resume_from=path)
+
+    def test_numeric_option_mismatch_rejected(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=2, checkpoint_every=2,
+            checkpoint_path=path))
+        with pytest.raises(ValueError, match="rank"):
+            fit_aoadmm(tensor, make_options(rank=5), resume_from=path)
+        with pytest.raises(ValueError, match="constraints"):
+            fit_aoadmm(tensor, make_options(constraints="l1"),
+                       resume_from=path)
+
+    def test_stopping_rule_changes_are_allowed(self, tensor):
+        """max iterations / tolerance / threads may differ on resume."""
+        a = options_fingerprint(make_options())
+        b = options_fingerprint(make_options(
+            max_outer_iterations=99, outer_tolerance=0.5, threads=4))
+        assert a == b
+
+    def test_constraint_spec_forms_fingerprint_identically(self):
+        """A CLI-written checkpoint (Constraint instance) must resume
+        from library code using the string spec, and vice versa — but
+        different constraint parameters must still be distinguished."""
+        from repro.constraints import L1, NonNegative
+        assert options_fingerprint(make_options(constraints="nonneg")) == \
+            options_fingerprint(make_options(constraints=NonNegative()))
+        assert options_fingerprint(make_options(constraints=L1(0.1))) != \
+            options_fingerprint(make_options(constraints=L1(0.5)))
+
+    def test_cross_spec_resume(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        from repro.constraints import NonNegative
+        fit_aoadmm(tensor, make_options(
+            constraints=NonNegative(), max_outer_iterations=3,
+            checkpoint_every=3, checkpoint_path=path))
+        resumed = fit_aoadmm(tensor, make_options(
+            constraints="nonneg", max_outer_iterations=6),
+            resume_from=path)
+        assert resumed.iterations == 6
+
+    def test_resume_excludes_initial_factors(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=2, checkpoint_every=2,
+            checkpoint_path=path))
+        factors = [np.ones((s, 4)) for s in tensor.shape]
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            fit_aoadmm(tensor, make_options(), resume_from=path,
+                       initial_factors=factors)
+
+    def test_corrupted_checkpoint_rejected(self, tensor, tmp_path):
+        path = tmp_path / "ck.npz"
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=2, checkpoint_every=2,
+            checkpoint_path=path))
+        checkpoint = load_checkpoint(path)
+        checkpoint.primals[0][0, 0] += 1.0
+        save_checkpoint(path, tensor, make_options(),
+                        checkpoint.states(), checkpoint.trace)
+        # Re-saving honest state still loads; byte-level tampering fails.
+        load_checkpoint(path)
+        import zipfile
+        with zipfile.ZipFile(path) as z:
+            names = z.namelist()
+        assert any(n.startswith("primal0") for n in names)
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, primal0=np.ones((2, 2)))
+        with pytest.raises(ValueError, match="not a repro state file"):
+            load_checkpoint(bad)
+        from repro.core.serialize import save_state_npz
+        other = save_state_npz(tmp_path / "other.npz",
+                               {"x": np.ones(2)}, {"format": "something"})
+        with pytest.raises(ValueError, match="not an AO-ADMM checkpoint"):
+            load_checkpoint(other)
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            AOADMMOptions(checkpoint_every=5)
+
+    def test_guard_events_survive_checkpoint(self, tensor, tmp_path):
+        """Repair events recorded before a checkpoint reappear after it."""
+        path = tmp_path / "ck.npz"
+        inj = FaultInjector([FaultSpec("mttkrp_nan", iteration=2, mode=0)])
+        fit_aoadmm(tensor, make_options(
+            max_outer_iterations=4, guard_policy="repair",
+            fault_injector=inj, checkpoint_every=4, checkpoint_path=path))
+        checkpoint = load_checkpoint(path)
+        events = checkpoint.trace.guard_events()
+        assert [e.action for e in events] == ["repair"]
+        assert events[0].iteration == 2
+
+
+# ----------------------------------------------------------------------
+# Distributed worker failures
+# ----------------------------------------------------------------------
+
+class TestDistributedFailover:
+    def test_timeout_is_retried_bit_identically(self, tensor):
+        options = make_options(max_outer_iterations=6)
+        healthy = fit_aoadmm_distributed(tensor, options, ranks=4)
+        plan = WorkerFaultPlan([
+            WorkerFault(rank=2, iteration=3, kind="timeout")])
+        retried = fit_aoadmm_distributed(tensor, options, ranks=4,
+                                         fault_plan=plan)
+        assert [e.action for e in retried.failover_events] == ["retry"]
+        assert retried.failover_events[0].kind == "timeout"
+        np.testing.assert_array_equal(healthy.trace.errors(),
+                                      retried.trace.errors())
+        for a, b in zip(healthy.model.factors, retried.model.factors):
+            np.testing.assert_array_equal(a, b)
+        assert len(retried.partition.shards) == 4  # nobody was dropped
+
+    def test_crash_triggers_repartition(self, tensor):
+        options = make_options(max_outer_iterations=6)
+        healthy = fit_aoadmm_distributed(tensor, options, ranks=4)
+        plan = WorkerFaultPlan([
+            WorkerFault(rank=2, iteration=3, kind="crash")])
+        failed = fit_aoadmm_distributed(tensor, options, ranks=4,
+                                        fault_plan=plan, max_retries=1)
+        assert [e.action for e in failed.failover_events] == \
+            ["retry", "repartition"]
+        assert len(failed.partition.shards) == 3
+        # Re-partitioning changes the allreduce summation order, so the
+        # comparison is to machine precision rather than bitwise.
+        np.testing.assert_allclose(healthy.trace.errors(),
+                                   failed.trace.errors(), rtol=1e-12)
+        for a, b in zip(healthy.model.factors, failed.model.factors):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+    def test_crashed_rank_stops_accumulating_time(self, tensor):
+        plan = WorkerFaultPlan([
+            WorkerFault(rank=3, iteration=2, kind="crash")])
+        failed = fit_aoadmm_distributed(
+            tensor, make_options(max_outer_iterations=5), ranks=4,
+            fault_plan=plan, max_retries=0)
+        assert len(failed.rank_compute_seconds) == 4
+        survivors = fit_aoadmm_distributed(
+            tensor, make_options(max_outer_iterations=5), ranks=3)
+        np.testing.assert_allclose(failed.trace.errors(),
+                                   survivors.trace.errors(), rtol=1e-12)
+
+    def test_last_survivor_failure_propagates(self, tensor):
+        plan = WorkerFaultPlan([
+            WorkerFault(rank=0, iteration=2, kind="crash")])
+        with pytest.raises(WorkerFailure):
+            fit_aoadmm_distributed(
+                tensor, make_options(max_outer_iterations=5), ranks=1,
+                fault_plan=plan, max_retries=0)
+
+    def test_healthy_run_reports_no_failover(self, tensor):
+        result = fit_aoadmm_distributed(
+            tensor, make_options(max_outer_iterations=3), ranks=4)
+        assert result.failover_events == ()
+
+
+# ----------------------------------------------------------------------
+# stop_reason contract (satellite 2)
+# ----------------------------------------------------------------------
+
+class TestStopReasons:
+    def test_all_documented_reasons_are_producible(self, tensor):
+        reasons = set()
+        reasons.add(fit_aoadmm(tensor, make_options(
+            outer_tolerance=0.9)).stop_reason)
+        reasons.add(fit_aoadmm(tensor, make_options(
+            max_outer_iterations=2)).stop_reason)
+        reasons.add(fit_aoadmm(tensor, make_options(
+            callback=lambda record: record.iteration >= 2)).stop_reason)
+        reasons.add(fit_aoadmm(tensor, make_options(
+            time_budget_seconds=1e-9)).stop_reason)
+        assert reasons == {"tolerance", "max_iterations", "callback",
+                           "time_budget"}
+
+    def test_guard_stop_reasons(self, tensor):
+        inj = FaultInjector([FaultSpec("mttkrp_nan", iteration=2, mode=0)])
+        rollback = fit_aoadmm(tensor, make_options(
+            guard_policy="rollback", fault_injector=inj))
+        inj = FaultInjector([
+            FaultSpec("diverge_error", iteration=2, once=False)])
+        diverged = fit_aoadmm(tensor, make_options(
+            guard_policy="rollback", divergence_patience=1,
+            fault_injector=inj))
+        assert {rollback.stop_reason, diverged.stop_reason} == \
+            {"rollback", "diverged"}
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+class TestRobustnessCLI:
+    def test_checkpoint_and_resume_flags(self, tensor, tmp_path):
+        from repro.cli import main
+        from repro.core import load_model
+        from repro.tensor import write_tns
+        tns = tmp_path / "t.tns"
+        write_tns(tensor, tns)
+        ck = tmp_path / "ck.npz"
+        common = ["factorize", str(tns), "--rank", "4", "--seed", "0",
+                  "--tolerance", "0.0"]
+        full_out = tmp_path / "full.npz"
+        assert main(common + ["--max-iterations", "6",
+                              "--output", str(full_out)]) == 0
+        assert main(common + ["--max-iterations", "3",
+                              "--checkpoint", str(ck),
+                              "--checkpoint-every", "3"]) == 0
+        resumed_out = tmp_path / "resumed.npz"
+        assert main(common + ["--max-iterations", "6",
+                              "--resume", str(ck),
+                              "--output", str(resumed_out)]) == 0
+        full = load_model(full_out)
+        resumed = load_model(resumed_out)
+        for a, b in zip(full.factors, resumed.factors):
+            np.testing.assert_array_equal(a, b)

@@ -45,6 +45,18 @@ class TestSerialization:
         model = load_model(out)
         assert model.shape == small_tensor.shape
 
+    def test_many_mode_round_trip(self, tmp_path):
+        """mode10 sorts after mode9 (numeric, not lexicographic): with
+        >=10 modes a lexicographic sort would interleave mode1, mode10,
+        mode11, ..., mode2 and scramble the factor order."""
+        shape = tuple(range(2, 14))  # 12 modes, all sizes distinct
+        model = CPModel(random_factors(shape, 2, seed=5))
+        back = load_model(save_model(model, tmp_path / "deep.npz"))
+        assert back.nmodes == 12
+        assert back.shape == shape
+        for a, b in zip(model.factors, back.factors):
+            np.testing.assert_array_equal(a, b)
+
     def test_bad_file_rejected(self, tmp_path):
         np.savez(tmp_path / "bad.npz", mode0=np.ones((2, 2)),
                  mode2=np.ones((3, 2)))
