@@ -1,0 +1,136 @@
+"""Observability disabled-mode overhead micro-benchmark.
+
+The observability substrate promises a near-zero cost when disabled: the
+registry hands out shared no-op instruments and ``span`` returns one
+shared no-op context manager.  This benchmark measures that promise two
+ways and **fails on regression**:
+
+* *micro*: per-operation cost of the disabled ``counter().inc()`` /
+  ``span()`` / ``is_enabled()`` fast paths, in nanoseconds, against a
+  hard per-op budget;
+* *end-to-end*: a full (small) ``fit_aoadmm`` run with observability
+  disabled vs enabled — the disabled run must not be materially slower
+  than the enabled one (which does strictly more work).
+
+The primary artifact is ``BENCH_observability_overhead.json`` so CI can
+diff the overhead trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.aoadmm import fit_aoadmm
+from repro.core.options import AOADMMOptions
+from repro.observability import MetricsRegistry, is_enabled, span
+from repro.observability.state import set_active_registry
+from repro.tensor import noisy_lowrank_coo
+
+from conftest import BENCH_SEED, save_artifact
+
+MICRO_OPS = 200_000
+MICRO_ROUNDS = 3
+#: Per-operation budget for the disabled fast path.  The no-op calls are
+#: a couple of attribute lookups; even slow CI boxes stay far under this.
+MAX_DISABLED_NS_PER_OP = 3_000.0
+E2E_ROUNDS = 3
+#: Disabled runs may be at most this much slower than enabled runs
+#: (enabled does strictly more work, so ~1.0 modulo timer noise).
+MAX_E2E_DISABLED_RATIO = 1.5
+
+
+def _best_of(rounds: int, fn) -> float:
+    return min(fn() for _ in range(rounds))
+
+
+def _micro(registry: MetricsRegistry) -> dict:
+    """Per-op nanoseconds of the three hot instrumentation calls."""
+    previous = set_active_registry(registry)
+    try:
+        def time_loop(body) -> float:
+            start = time.perf_counter()
+            for _ in range(MICRO_OPS):
+                body()
+            return (time.perf_counter() - start) / MICRO_OPS * 1e9
+
+        def counter():
+            registry.counter("bench_ops").inc()
+
+        def span_pair():
+            with span("bench"):
+                pass
+
+        return {
+            "counter_inc_ns": _best_of(MICRO_ROUNDS,
+                                       lambda: time_loop(counter)),
+            "span_ns": _best_of(MICRO_ROUNDS,
+                                lambda: time_loop(span_pair)),
+            "is_enabled_ns": _best_of(MICRO_ROUNDS,
+                                      lambda: time_loop(is_enabled)),
+        }
+    finally:
+        set_active_registry(previous)
+
+
+def _e2e_seconds(enabled: bool) -> float:
+    tensor, _ = noisy_lowrank_coo((60, 50, 40), rank=5, nnz=6000,
+                                  seed=BENCH_SEED)
+    options = AOADMMOptions(rank=5, seed=BENCH_SEED, max_outer_iterations=8,
+                            outer_tolerance=0.0)
+    registry = MetricsRegistry(enabled=enabled)
+    previous = set_active_registry(registry)
+    try:
+        def once() -> float:
+            start = time.perf_counter()
+            fit_aoadmm(tensor, options)
+            return time.perf_counter() - start
+
+        once()  # warm-up: CSF build paths, numpy caches
+        return _best_of(E2E_ROUNDS, once)
+    finally:
+        set_active_registry(previous)
+
+
+def test_bench_observability_overhead(results_dir):
+    disabled = _micro(MetricsRegistry(enabled=False))
+    enabled = _micro(MetricsRegistry(enabled=True))
+    e2e_off = _e2e_seconds(enabled=False)
+    e2e_on = _e2e_seconds(enabled=True)
+    ratio = e2e_off / e2e_on if e2e_on > 0 else 1.0
+
+    payload = {
+        "benchmark": "observability_overhead",
+        "micro_ops": MICRO_OPS,
+        "micro_rounds": MICRO_ROUNDS,
+        "disabled_ns_per_op": disabled,
+        "enabled_ns_per_op": enabled,
+        "e2e_disabled_seconds": e2e_off,
+        "e2e_enabled_seconds": e2e_on,
+        "e2e_disabled_over_enabled": ratio,
+        "budget": {
+            "max_disabled_ns_per_op": MAX_DISABLED_NS_PER_OP,
+            "max_e2e_disabled_ratio": MAX_E2E_DISABLED_RATIO,
+        },
+    }
+    json_path = results_dir / "BENCH_observability_overhead.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["observability overhead",
+             f"{'path':>24} {'disabled ns/op':>15} {'enabled ns/op':>14}"]
+    for key in ("counter_inc_ns", "span_ns", "is_enabled_ns"):
+        lines.append(f"{key:>24} {disabled[key]:>15.0f} "
+                     f"{enabled[key]:>14.0f}")
+    lines.append(f"e2e fit: disabled {e2e_off * 1e3:.1f} ms, "
+                 f"enabled {e2e_on * 1e3:.1f} ms "
+                 f"(disabled/enabled = {ratio:.2f})")
+    lines.append(f"[json saved to {json_path}]")
+    save_artifact(results_dir, "bench_observability_overhead",
+                  "\n".join(lines))
+
+    # Regression gates.
+    for key, value in disabled.items():
+        assert value < MAX_DISABLED_NS_PER_OP, (key, value)
+    assert ratio < MAX_E2E_DISABLED_RATIO, payload

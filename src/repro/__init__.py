@@ -12,17 +12,22 @@ A from-scratch Python reproduction of Smith, Beri & Karypis,
 
 Quickstart
 ----------
->>> from repro import fit_aoadmm, AOADMMOptions
+>>> import repro
 >>> from repro.tensor import noisy_lowrank_coo
 >>> tensor, truth = noisy_lowrank_coo((60, 50, 40), rank=5, nnz=5000, seed=0)
->>> result = fit_aoadmm(tensor, AOADMMOptions(rank=5, constraints="nonneg",
-...                                           seed=0, max_outer_iterations=20))
->>> all((f >= 0).all() for f in result.model.factors)
+>>> result = repro.fit(tensor, rank=5, constraints="nonneg", seed=0,
+...                    max_outer_iterations=20)
+>>> all((f >= 0).all() for f in result.factors)
 True
->>> result.trace.errors()[-1] <= result.trace.errors()[0]
+>>> bool(result.trace.errors()[-1] <= result.trace.errors()[0])
 True
+
+Real tensors load with :func:`load_tns`; metrics for a run come back on
+the result (``repro.fit(..., observe=True)`` -> ``result.metrics``) or
+process-wide via :class:`Observability` / ``REPRO_OBSERVE=1``.
 """
 
+from .api import METHODS, FitResult, fit
 from .config import DEFAULTS, Defaults
 from .constraints import (
     Box,
@@ -51,6 +56,8 @@ from .core import (
     penalized_objective,
     save_model,
 )
+from .core.options import LEGACY_KWARGS, options_from_kwargs
+from .observability import Observability, configure, get_observability
 from .robustness import (
     Checkpoint,
     FaultInjector,
@@ -64,11 +71,26 @@ from .robustness import (
     save_checkpoint,
     verify_checkpoint,
 )
-from .tensor import COOTensor, CSFTensor, read_tns, write_tns
+from .tensor import (
+    COOTensor,
+    CSFTensor,
+    load_tns,
+    read_tns,
+    save_tns,
+    write_tns,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "fit",
+    "FitResult",
+    "METHODS",
+    "Observability",
+    "configure",
+    "get_observability",
+    "LEGACY_KWARGS",
+    "options_from_kwargs",
     "DEFAULTS",
     "Defaults",
     "Constraint",
@@ -109,5 +131,7 @@ __all__ = [
     "CSFTensor",
     "read_tns",
     "write_tns",
+    "load_tns",
+    "save_tns",
     "__version__",
 ]

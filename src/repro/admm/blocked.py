@@ -30,6 +30,7 @@ import numpy as np
 from ..config import ADMM_TOLERANCE, DEFAULT_BLOCK_SIZE, MAX_ADMM_ITERATIONS
 from ..constraints.base import Constraint
 from ..linalg.cholesky import CholeskyFactor
+from ..observability import span
 from ..parallel.partition import row_blocks
 from ..parallel.threadpool import parallel_for
 from ..validation import require
@@ -75,16 +76,17 @@ def _solve_block(block: slice, primal: np.ndarray, dual: np.ndarray,
     k = mttkrp[block]
     iterations = 0
     converged = False
-    while iterations < max_iterations:
-        iterations += 1
-        aux = chol.solve_t(k + rho * (h + u))
-        h_prev = h
-        h = constraint.prox(aux - u, 1.0 / rho)
-        u = u + h - aux
-        r, s = relative_residuals(h, aux, h_prev, u)
-        if r < tolerance and s < tolerance:
-            converged = True
-            break
+    with span("admm.block", rows=block.stop - block.start):
+        while iterations < max_iterations:
+            iterations += 1
+            aux = chol.solve_t(k + rho * (h + u))
+            h_prev = h
+            h = constraint.prox(aux - u, 1.0 / rho)
+            u = u + h - aux
+            r, s = relative_residuals(h, aux, h_prev, u)
+            if r < tolerance and s < tolerance:
+                converged = True
+                break
     return block, h, u, iterations, converged
 
 

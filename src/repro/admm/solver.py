@@ -20,6 +20,7 @@ import numpy as np
 from ..config import ADMM_TOLERANCE, MAX_ADMM_ITERATIONS
 from ..constraints.base import Constraint
 from ..linalg.cholesky import CholeskyFactor
+from ..observability import span
 from ..validation import require
 from .residuals import relative_residuals
 from .rho import RhoPolicy, TraceRho
@@ -76,20 +77,21 @@ def admm_update(state: AdmmState, mttkrp: np.ndarray, gram: np.ndarray,
     iterations = 0
     r = s = float("inf")
     converged = False
-    while iterations < max_iterations:
-        iterations += 1
-        # Line 6: solve (G + rho I) H_tilde^T = (K + rho (H + U))^T.
-        aux = chol.solve_t(mttkrp + rho * (primal + dual))
-        primal_prev = primal.copy()
-        # Line 8: proximity operator with step 1/rho.
-        primal = constraint.prox(aux - dual, 1.0 / rho)
-        # Line 9: dual ascent.
-        dual = dual + primal - aux
-        # Lines 10-11.
-        r, s = relative_residuals(primal, aux, primal_prev, dual)
-        if r < tolerance and s < tolerance:
-            converged = True
-            break
+    with span("admm.solve", rows=state.rows):
+        while iterations < max_iterations:
+            iterations += 1
+            # Line 6: solve (G + rho I) H_tilde^T = (K + rho (H + U))^T.
+            aux = chol.solve_t(mttkrp + rho * (primal + dual))
+            primal_prev = primal.copy()
+            # Line 8: proximity operator with step 1/rho.
+            primal = constraint.prox(aux - dual, 1.0 / rho)
+            # Line 9: dual ascent.
+            dual = dual + primal - aux
+            # Lines 10-11.
+            r, s = relative_residuals(primal, aux, primal_prev, dual)
+            if r < tolerance and s < tolerance:
+                converged = True
+                break
 
     state.primal = primal
     state.dual = dual

@@ -23,6 +23,7 @@ from ..core.options import AOADMMOptions
 from ..core.trace import FactorizationTrace, OuterIterationRecord
 from ..kernels.dispatch import MTTKRPEngine
 from ..linalg.grams import GramCache
+from ..observability import StageClock, record_iteration, span
 from ..tensor.coo import COOTensor
 from ..validation import require
 
@@ -63,49 +64,47 @@ def fit_pgd(tensor: COOTensor,
 
     nmodes = tensor.nmodes
     converged = False
+    clock = StageClock(scope="pgd")
     while True:
-        mttkrp_seconds = update_seconds = other_seconds = 0.0
+        clock.reset()
         last_mttkrp: np.ndarray | None = None
-        for mode in range(nmodes):
-            tick = time.perf_counter()
-            gram = gram_cache.gram_excluding(mode)
-            other_seconds += time.perf_counter() - tick
+        with span("pgd.iteration", iteration=len(trace) + 1):
+            for mode in range(nmodes):
+                with clock.stage("other"):
+                    gram = gram_cache.gram_excluding(mode)
 
-            tick = time.perf_counter()
-            kmat = engine.mttkrp(factors, mode)
-            mttkrp_seconds += time.perf_counter() - tick
+                with clock.stage("mttkrp"):
+                    kmat = engine.mttkrp(factors, mode)
 
-            tick = time.perf_counter()
-            # Largest eigenvalue of the SPD Gram = spectral norm.
-            lipschitz = float(np.linalg.eigvalsh(gram)[-1])
-            step = 1.0 / max(lipschitz, 1e-12)
-            a = factors[mode]
-            for _ in range(inner_steps):
-                grad = a @ gram - kmat
-                a = np.maximum(a - step * grad, 0.0)
-            factors[mode] = a
-            update_seconds += time.perf_counter() - tick
+                with clock.stage("admm"):
+                    # Largest eigenvalue of the SPD Gram = spectral norm.
+                    lipschitz = float(np.linalg.eigvalsh(gram)[-1])
+                    step = 1.0 / max(lipschitz, 1e-12)
+                    a = factors[mode]
+                    for _ in range(inner_steps):
+                        grad = a @ gram - kmat
+                        a = np.maximum(a - step * grad, 0.0)
+                    factors[mode] = a
 
-            tick = time.perf_counter()
-            gram_cache.set_factor(mode, factors[mode])
-            other_seconds += time.perf_counter() - tick
-            last_mttkrp = kmat
+                with clock.stage("other"):
+                    gram_cache.set_factor(mode, factors[mode])
+                last_mttkrp = kmat
 
-        tick = time.perf_counter()
-        assert last_mttkrp is not None
-        inner = float(np.einsum("ij,ij->", last_mttkrp, factors[nmodes - 1]))
-        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
-        err = float(np.sqrt(max(norm_x_sq - 2 * inner + model_sq, 0.0)
-                            / norm_x_sq))
-        other_seconds += time.perf_counter() - tick
+            with clock.stage("other"):
+                assert last_mttkrp is not None
+                inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                        factors[nmodes - 1]))
+                model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+                err = float(np.sqrt(max(norm_x_sq - 2 * inner + model_sq, 0.0)
+                                    / norm_x_sq))
 
-        trace.append(OuterIterationRecord(
+        trace.append(OuterIterationRecord.from_stages(
+            clock,
             iteration=len(trace) + 1, relative_error=err,
-            mttkrp_seconds=mttkrp_seconds, admm_seconds=update_seconds,
-            other_seconds=other_seconds,
             inner_iterations=tuple(inner_steps for _ in range(nmodes)),
             factor_densities=tuple(1.0 for _ in range(nmodes)),
             representations=tuple("dense" for _ in range(nmodes))))
+        record_iteration(trace.records[-1], scope="pgd")
         if criterion.update(err):
             converged = criterion.reason == "tolerance"
             break

@@ -1,12 +1,17 @@
-"""Wall-clock timers for the benchmark harness."""
+"""Wall-clock timers for the benchmark harness.
+
+Thin veneers over the :mod:`repro.observability` timing primitives —
+the benchmark harness and the runtime share one timing code path.  The
+classes keep their historical names/API; new code can use
+:class:`repro.observability.Stopwatch` / ``StageClock`` directly.
+"""
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
+from ..observability.tracing import StageClock, Stopwatch
 
 
-class Timer:
+class Timer(Stopwatch):
     """A context-manager stopwatch.
 
     >>> with Timer() as t:
@@ -15,21 +20,8 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
-        self.seconds = 0.0
-        self._start: float | None = None
 
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.seconds += time.perf_counter() - self._start
-        self._start = None
-
-
-class StageTimer:
+class StageTimer(StageClock):
     """Accumulates wall-clock per named stage (Figure 3's breakdown).
 
     >>> st = StageTimer()
@@ -38,35 +30,3 @@ class StageTimer:
     >>> set(st.totals()) == {"mttkrp"}
     True
     """
-
-    def __init__(self) -> None:
-        self._totals: dict[str, float] = defaultdict(float)
-
-    class _Stage:
-        def __init__(self, owner: "StageTimer", name: str) -> None:
-            self._owner = owner
-            self._name = name
-            self._start = 0.0
-
-        def __enter__(self) -> "StageTimer._Stage":
-            self._start = time.perf_counter()
-            return self
-
-        def __exit__(self, *exc) -> None:
-            self._owner._totals[self._name] += (
-                time.perf_counter() - self._start)
-
-    def stage(self, name: str) -> "StageTimer._Stage":
-        """Context manager accumulating into *name*."""
-        return StageTimer._Stage(self, name)
-
-    def totals(self) -> dict[str, float]:
-        """Seconds per stage."""
-        return dict(self._totals)
-
-    def fractions(self) -> dict[str, float]:
-        """Normalized per-stage shares."""
-        total = sum(self._totals.values())
-        if total <= 0.0:
-            return {k: 0.0 for k in self._totals}
-        return {k: v / total for k, v in self._totals.items()}

@@ -40,7 +40,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_factorize(args: argparse.Namespace) -> int:
     from .constraints.registry import make_constraint
     from .core.aoadmm import fit_aoadmm
-    from .core.options import AOADMMOptions
+    from .core.options import options_from_kwargs
     from .tensor.io import read_tns
 
     tensor = read_tns(args.tensor)
@@ -48,15 +48,17 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         args.constraint,
         **({"weight": args.weight} if args.constraint in
            ("l1", "nonneg_l1", "l2") else {}))
-    options = AOADMMOptions(
+    # Same flat-kwargs -> Options translation path the fit_aoadmm shim
+    # uses, so CLI flags and legacy kwargs can never drift apart.
+    options = options_from_kwargs(
         rank=args.rank,
         constraints=constraint,
         blocked=not args.unblocked,
         block_size=args.block_size,
-        repr_policy=args.repr,
+        representation=args.repr,
         seed=args.seed,
-        max_outer_iterations=args.max_iterations,
-        outer_tolerance=args.tolerance,
+        max_iter=args.max_iterations,
+        tol=args.tolerance,
         guard_policy=args.guard_policy,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,

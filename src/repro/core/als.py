@@ -15,6 +15,7 @@ import numpy as np
 from ..kernels.dispatch import MTTKRPEngine
 from ..linalg.cholesky import CholeskyFactor
 from ..linalg.grams import GramCache
+from ..observability import StageClock, record_iteration, span
 from ..tensor.coo import COOTensor
 from ..validation import require
 from .convergence import ConvergenceCriterion
@@ -58,48 +59,43 @@ def fit_als(tensor: COOTensor,
 
     nmodes = tensor.nmodes
     converged = False
+    clock = StageClock(scope="als")
     while True:
-        mttkrp_seconds = 0.0
-        solve_seconds = 0.0
-        other_seconds = 0.0
+        clock.reset()
         last_mttkrp: np.ndarray | None = None
 
-        for mode in range(nmodes):
-            tick = time.perf_counter()
-            gram = gram_cache.gram_excluding(mode)
-            other_seconds += time.perf_counter() - tick
+        with span("als.iteration", iteration=len(trace) + 1):
+            for mode in range(nmodes):
+                with clock.stage("other"):
+                    gram = gram_cache.gram_excluding(mode)
 
-            tick = time.perf_counter()
-            kmat = engine.mttkrp(factors, mode)
-            mttkrp_seconds += time.perf_counter() - tick
+                with clock.stage("mttkrp"):
+                    kmat = engine.mttkrp(factors, mode)
 
-            tick = time.perf_counter()
-            factors[mode] = CholeskyFactor(gram).solve_t(kmat)
-            solve_seconds += time.perf_counter() - tick
+                with clock.stage("admm"):
+                    factors[mode] = CholeskyFactor(gram).solve_t(kmat)
 
-            tick = time.perf_counter()
-            gram_cache.set_factor(mode, factors[mode])
-            other_seconds += time.perf_counter() - tick
-            last_mttkrp = kmat
+                with clock.stage("other"):
+                    gram_cache.set_factor(mode, factors[mode])
+                last_mttkrp = kmat
 
-        tick = time.perf_counter()
-        assert last_mttkrp is not None
-        inner = float(np.einsum("ij,ij->", last_mttkrp, factors[nmodes - 1]))
-        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
-        err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
-        relative_error = float(np.sqrt(err_sq / norm_x_sq))
-        other_seconds += time.perf_counter() - tick
+            with clock.stage("other"):
+                assert last_mttkrp is not None
+                inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                        factors[nmodes - 1]))
+                model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+                err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
+                relative_error = float(np.sqrt(err_sq / norm_x_sq))
 
-        trace.append(OuterIterationRecord(
+        trace.append(OuterIterationRecord.from_stages(
+            clock,
             iteration=len(trace) + 1,
             relative_error=relative_error,
-            mttkrp_seconds=mttkrp_seconds,
-            admm_seconds=solve_seconds,
-            other_seconds=other_seconds,
             inner_iterations=tuple(1 for _ in range(nmodes)),
             factor_densities=tuple(1.0 for _ in range(nmodes)),
             representations=tuple("dense" for _ in range(nmodes)),
         ))
+        record_iteration(trace.records[-1], scope="als")
         if criterion.update(relative_error):
             converged = criterion.reason == "tolerance"
             break

@@ -34,6 +34,7 @@ from ..admm.solver import admm_update
 from ..admm.state import AdmmState
 from ..kernels.dispatch import MTTKRPEngine
 from ..linalg.grams import GramCache
+from ..observability import StageClock, record_admm_report, record_iteration, span
 from ..robustness.checkpoint import (
     Checkpoint,
     load_checkpoint,
@@ -47,7 +48,7 @@ from ..validation import require
 from .convergence import ConvergenceCriterion
 from .cpd import CPModel
 from .init import init_factors
-from .options import AOADMMOptions
+from .options import AOADMMOptions, options_from_kwargs
 from .trace import FactorizationTrace, OuterIterationRecord
 
 
@@ -86,8 +87,8 @@ def fit_aoadmm(tensor: COOTensor,
                options: AOADMMOptions | None = None,
                initial_factors: list[np.ndarray] | None = None,
                engine: MTTKRPEngine | None = None,
-               resume_from: "str | Path | Checkpoint | None" = None
-               ) -> FactorizationResult:
+               resume_from: "str | Path | Checkpoint | None" = None,
+               **legacy_kwargs: object) -> FactorizationResult:
     """Factorize *tensor* with (accelerated) AO-ADMM.
 
     Parameters
@@ -110,6 +111,13 @@ def fit_aoadmm(tensor: COOTensor,
         previous run with ``options.checkpoint_every`` set.  The run
         continues bit-identically from the checkpointed iteration; the
         tensor and the numerics-affecting options must match (verified).
+    **legacy_kwargs:
+        Deprecated flat-kwargs configuration (``rank=16``,
+        ``blocked=True``, historical aliases like ``n_components`` /
+        ``tol`` — see :data:`repro.core.options.LEGACY_KWARGS`).  Emits a
+        :class:`DeprecationWarning` and is translated onto *options* via
+        :func:`repro.core.options.options_from_kwargs`; pass an
+        :class:`AOADMMOptions` instead.
 
     Returns
     -------
@@ -121,6 +129,15 @@ def fit_aoadmm(tensor: COOTensor,
     repro.robustness.guards.NumericalFaultError
         When a numerical guard fires under ``guard_policy="raise"``.
     """
+    if legacy_kwargs:
+        import warnings
+        warnings.warn(
+            "passing factorization settings as flat keyword arguments to "
+            "fit_aoadmm() is deprecated; build an AOADMMOptions (or use "
+            "repro.fit(...)) instead: "
+            + ", ".join(sorted(legacy_kwargs)),
+            DeprecationWarning, stacklevel=2)
+        options = options_from_kwargs(base=options, **legacy_kwargs)
     options = options or AOADMMOptions()
     require(tensor.nmodes >= 2, "factorization needs at least two modes")
     require(tensor.nnz > 0, "cannot factor an empty tensor")
@@ -212,82 +229,77 @@ def fit_aoadmm(tensor: COOTensor,
         converged = stop_reason == "tolerance"
 
     last_rhos = [0.0] * nmodes
+    clock = StageClock(scope="aoadmm")
     while not stop_reason:
         iteration = len(trace) + 1
-        mttkrp_seconds = 0.0
-        admm_seconds = 0.0
-        other_seconds = 0.0
+        clock.reset()
         inner_iterations: list[int] = []
         block_reports: list[object] = []
         jitter: list[float] = []
         last_mttkrp: np.ndarray | None = None
 
         try:
-            for mode in range(nmodes):
-                tick = time.perf_counter()
-                gram = gram_cache.gram_excluding(mode)
-                other_seconds += time.perf_counter() - tick
+            with span("aoadmm.iteration", iteration=iteration):
+                for mode in range(nmodes):
+                    with clock.stage("other"):
+                        gram = gram_cache.gram_excluding(mode)
+                    if injector is not None:
+                        gram = injector.corrupt_gram(gram, iteration, mode)
+
+                    with clock.stage("mttkrp"):
+                        current = [s.primal for s in states]
+                        kmat = engine.mttkrp(current, mode)
+                    if injector is not None:
+                        kmat = injector.corrupt_mttkrp(kmat, iteration, mode)
+                    if monitor is not None:
+                        kmat = monitor.check_mttkrp(kmat, iteration, mode)
+
+                    with clock.stage("admm"):
+                        if options.blocked:
+                            report = blocked_admm_update(
+                                states[mode], kmat, gram, constraints[mode],
+                                rho_policy=rho_policy,
+                                tolerance=options.inner_tolerance,
+                                max_iterations=options.max_inner_iterations,
+                                block_size=options.block_size,
+                                threads=options.threads)
+                        else:
+                            report = admm_update(
+                                states[mode], kmat, gram, constraints[mode],
+                                rho_policy=rho_policy,
+                                tolerance=options.inner_tolerance,
+                                max_iterations=options.max_inner_iterations)
+                        inner_iterations.append(report.iterations)
+                    record_admm_report(report, mode, options.blocked)
+                    last_rhos[mode] = report.rho
+                    jitter.append(report.jitter_added)
+                    if options.track_block_reports:
+                        block_reports.append(report)
+                    if monitor is not None:
+                        monitor.check_state(states[mode], iteration, mode)
+
+                    with clock.stage("other"):
+                        gram_cache.set_factor(mode, states[mode].primal)
+                        engine.update_factor(mode, states[mode].primal)
+
+                    last_mttkrp = kmat
+
+                # Relative error from the last mode's MTTKRP: K was computed
+                # with the other factors at their current values, and only
+                # mode N-1's factor changed afterwards, so <X, X_hat> = <K,
+                # A_{N-1}>.
+                with clock.stage("other"):
+                    assert last_mttkrp is not None
+                    inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                            states[nmodes - 1].primal))
+                    model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+                    err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
+                    relative_error = float(np.sqrt(err_sq / norm_x_sq))
                 if injector is not None:
-                    gram = injector.corrupt_gram(gram, iteration, mode)
-
-                tick = time.perf_counter()
-                current = [s.primal for s in states]
-                kmat = engine.mttkrp(current, mode)
-                mttkrp_seconds += time.perf_counter() - tick
-                if injector is not None:
-                    kmat = injector.corrupt_mttkrp(kmat, iteration, mode)
+                    relative_error = injector.corrupt_error(relative_error,
+                                                            iteration)
                 if monitor is not None:
-                    kmat = monitor.check_mttkrp(kmat, iteration, mode)
-
-                tick = time.perf_counter()
-                if options.blocked:
-                    report = blocked_admm_update(
-                        states[mode], kmat, gram, constraints[mode],
-                        rho_policy=rho_policy,
-                        tolerance=options.inner_tolerance,
-                        max_iterations=options.max_inner_iterations,
-                        block_size=options.block_size,
-                        threads=options.threads)
-                    inner_iterations.append(report.iterations)
-                else:
-                    report = admm_update(
-                        states[mode], kmat, gram, constraints[mode],
-                        rho_policy=rho_policy,
-                        tolerance=options.inner_tolerance,
-                        max_iterations=options.max_inner_iterations)
-                    inner_iterations.append(report.iterations)
-                admm_seconds += time.perf_counter() - tick
-                last_rhos[mode] = report.rho
-                jitter.append(report.jitter_added)
-                if options.track_block_reports:
-                    block_reports.append(report)
-                if monitor is not None:
-                    monitor.check_state(states[mode], iteration, mode)
-
-                tick = time.perf_counter()
-                gram_cache.set_factor(mode, states[mode].primal)
-                engine.update_factor(mode, states[mode].primal)
-                other_seconds += time.perf_counter() - tick
-
-                last_mttkrp = kmat
-
-            # Relative error from the last mode's MTTKRP: K was computed
-            # with the other factors at their current values, and only
-            # mode N-1's factor changed afterwards, so <X, X_hat> = <K,
-            # A_{N-1}>.
-            tick = time.perf_counter()
-            assert last_mttkrp is not None
-            inner = float(np.einsum("ij,ij->", last_mttkrp,
-                                    states[nmodes - 1].primal))
-            model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
-            err_sq = max(norm_x_sq - 2.0 * inner + model_sq, 0.0)
-            relative_error = float(np.sqrt(err_sq / norm_x_sq))
-            other_seconds += time.perf_counter() - tick
-            if injector is not None:
-                relative_error = injector.corrupt_error(relative_error,
-                                                        iteration)
-            if monitor is not None:
-                monitor.observe_error(relative_error, iteration)
+                    monitor.observe_error(relative_error, iteration)
         except RollbackRequested as rollback:
             assert monitor is not None
             trace.guard_log.append(rollback.event)
@@ -299,12 +311,10 @@ def fit_aoadmm(tensor: COOTensor,
                           for s in states)
         representations = tuple(engine.representation(m)
                                 for m in range(nmodes))
-        trace.append(OuterIterationRecord(
+        trace.append(OuterIterationRecord.from_stages(
+            clock,
             iteration=iteration,
             relative_error=relative_error,
-            mttkrp_seconds=mttkrp_seconds,
-            admm_seconds=admm_seconds,
-            other_seconds=other_seconds,
             inner_iterations=tuple(inner_iterations),
             factor_densities=densities,
             representations=representations,
@@ -315,6 +325,7 @@ def fit_aoadmm(tensor: COOTensor,
         ))
 
         record = trace.records[-1]
+        record_iteration(record, scope="aoadmm")
         if monitor is not None:
             monitor.commit(states, relative_error, iteration)
         if options.checkpoint_every is not None \

@@ -1,8 +1,17 @@
-"""Options for the AO-ADMM driver."""
+"""Options for the AO-ADMM driver.
+
+:class:`AOADMMOptions` is the one configuration object every driver
+(`fit_aoadmm`, the baselines, the CLI, ``repro.fit``) accepts.  The
+legacy flat-kwargs style (``fit_aoadmm(tensor, rank=16, blocked=True,
+...)``) is deprecated; :func:`options_from_kwargs` is the single
+translation path from flat keyword arguments — current field names or
+historical aliases — to an options instance, used by both the
+:func:`~repro.core.aoadmm.fit_aoadmm` deprecation shim and the CLI.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 from ..config import (
@@ -132,3 +141,59 @@ class AOADMMOptions:
         require(len(specs) == nmodes,
                 f"got {len(specs)} constraints for {nmodes} modes")
         return [make_constraint(s) for s in specs]
+
+
+#: Historical flat-kwarg spellings -> :class:`AOADMMOptions` field.  The
+#: right-hand names (the fields themselves) are also accepted verbatim by
+#: :func:`options_from_kwargs`, so the table only lists the renames.
+LEGACY_KWARGS: dict[str, str] = {
+    # sklearn-style spellings from the earliest prototype API.
+    "n_components": "rank",
+    "random_state": "seed",
+    "tol": "outer_tolerance",
+    "max_iter": "max_outer_iterations",
+    # boolean-soup / abbreviated spellings.
+    "constraint": "constraints",
+    "use_blocked": "blocked",
+    "blocksize": "block_size",
+    "inner_tol": "inner_tolerance",
+    "max_inner_iter": "max_inner_iterations",
+    "n_threads": "threads",
+    "representation": "repr_policy",
+    "initialization": "init",
+}
+
+_FIELD_NAMES = frozenset(f.name for f in fields(AOADMMOptions))
+
+
+def translate_kwarg(name: str) -> str:
+    """Map a flat kwarg (field name or legacy alias) to its options field.
+
+    Raises :class:`ValueError` for names that are neither, listing the
+    alias table so callers get an actionable message.
+    """
+    canonical = LEGACY_KWARGS.get(name, name)
+    if canonical not in _FIELD_NAMES:
+        known = ", ".join(sorted(LEGACY_KWARGS))
+        raise ValueError(
+            f"unknown option {name!r}: not an AOADMMOptions field and not "
+            f"a recognized legacy alias (aliases: {known})")
+    return canonical
+
+
+def options_from_kwargs(base: AOADMMOptions | None = None,
+                        **kwargs: object) -> AOADMMOptions:
+    """Build :class:`AOADMMOptions` from flat keyword arguments.
+
+    *base* (default: fresh defaults) supplies every field not mentioned;
+    *kwargs* may use current field names or the :data:`LEGACY_KWARGS`
+    aliases.  This is the single kwargs->Options translation path — the
+    ``fit_aoadmm`` deprecation shim and the CLI both go through it.
+    """
+    translated: dict[str, object] = {}
+    for name, value in kwargs.items():
+        canonical = translate_kwarg(name)
+        require(canonical not in translated,
+                f"option {canonical!r} given twice (alias collision)")
+        translated[canonical] = value
+    return replace(base or AOADMMOptions(), **translated)

@@ -4,6 +4,13 @@ The trace is the raw material for every figure in the paper's evaluation:
 error-vs-time and error-vs-iteration curves (Figure 6), kernel time
 fractions (Figure 3), and the work-item descriptors the machine model
 replays for the scaling studies (Figures 4-5).
+
+The timing substrate is :mod:`repro.observability`: drivers run each
+outer iteration under a :class:`~repro.observability.tracing.StageClock`
+(stages ``"mttkrp"`` / ``"admm"`` / ``"other"``) and build the record
+with :meth:`OuterIterationRecord.from_stages` — this module holds the
+record *shape* (preserved field-for-field across the observability
+refactor), not its own timing code.
 """
 
 from __future__ import annotations
@@ -12,6 +19,14 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
+
+from ..observability.tracing import StageClock
+
+#: The canonical stage names a driver's clock must use; anything else
+#: accumulated on the clock is folded into ``other_seconds``.
+STAGE_MTTKRP = "mttkrp"
+STAGE_ADMM = "admm"
+STAGE_OTHER = "other"
 
 
 @dataclass
@@ -41,6 +56,22 @@ class OuterIterationRecord:
     #: Guard events (:class:`repro.robustness.guards.GuardEvent`) that
     #: fired during this iteration — repairs the run survived.
     guard_events: tuple[object, ...] = ()
+
+    @classmethod
+    def from_stages(cls, clock: StageClock, **fields) -> "OuterIterationRecord":
+        """Build a record from a driver's per-iteration stage clock.
+
+        ``clock`` carries the iteration's wall-clock split; every
+        non-timing field (iteration, relative_error, ...) is passed
+        through ``fields``.  Stages other than the canonical three are
+        counted into ``other_seconds`` so no measured time is dropped.
+        """
+        totals = clock.totals()
+        other = sum(v for k, v in totals.items()
+                    if k not in (STAGE_MTTKRP, STAGE_ADMM))
+        return cls(mttkrp_seconds=totals.get(STAGE_MTTKRP, 0.0),
+                   admm_seconds=totals.get(STAGE_ADMM, 0.0),
+                   other_seconds=other, **fields)
 
     @property
     def total_seconds(self) -> float:

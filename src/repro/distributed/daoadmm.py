@@ -48,6 +48,7 @@ from ..core.options import AOADMMOptions
 from ..core.trace import FactorizationTrace, OuterIterationRecord
 from ..kernels.dispatch import MTTKRPEngine
 from ..linalg.grams import GramCache
+from ..observability import StageClock, record_iteration, span
 from ..sparse.analysis import density
 from ..tensor.coo import COOTensor
 from ..validation import require
@@ -178,115 +179,122 @@ def fit_aoadmm_distributed(tensor: COOTensor,
     nmodes = tensor.nmodes
     converged = False
     iteration = 0
+    clock = StageClock(scope="daoadmm")
     while True:
         iteration += 1
-        mttkrp_seconds = admm_seconds = other_seconds = 0.0
+        clock.reset()
         inner_iterations: list[int] = []
         jitter: list[float] = []
         last_mttkrp: np.ndarray | None = None
 
-        for mode in range(nmodes):
-            tick = time.perf_counter()
-            gram = gram_cache.gram_excluding(mode)
-            other_seconds += time.perf_counter() - tick
+        with span("daoadmm.iteration", iteration=iteration):
+            for mode in range(nmodes):
+                with clock.stage("other"):
+                    gram = gram_cache.gram_excluding(mode)
 
-            # (1) local MTTKRPs, (2) allreduce.  A failing rank is
-            # retried; one that keeps failing is dropped and the tensor
-            # re-partitioned over the survivors (local MTTKRPs are
-            # idempotent, so recomputing after a failure is safe).
-            current = [s.primal for s in states]
-            retries_left = max_retries
-            tick_all = time.perf_counter()
-            while True:
-                try:
-                    locals_k = []
-                    for r, orig in enumerate(live):
+                # (1) local MTTKRPs, (2) allreduce.  A failing rank is
+                # retried; one that keeps failing is dropped and the tensor
+                # re-partitioned over the survivors (local MTTKRPs are
+                # idempotent, so recomputing after a failure is safe).
+                current = [s.primal for s in states]
+                retries_left = max_retries
+                with clock.stage("mttkrp"):
+                    while True:
+                        try:
+                            locals_k = []
+                            for r, orig in enumerate(live):
+                                tick = time.perf_counter()
+                                if fault_plan is not None:
+                                    fault_plan.maybe_fail(orig, iteration,
+                                                          mode)
+                                locals_k.append(
+                                    engines[r].mttkrp(current, mode))
+                                rank_seconds[orig] += \
+                                    time.perf_counter() - tick
+                            break
+                        except WorkerFailure as failure:
+                            if retries_left > 0:
+                                retries_left -= 1
+                                failover.append(FailoverEvent(
+                                    iteration=iteration, mode=mode,
+                                    rank=failure.rank, kind=failure.kind,
+                                    action="retry"))
+                                continue
+                            if len(live) == 1:
+                                raise  # no survivor to fail over to
+                            failover.append(FailoverEvent(
+                                iteration=iteration, mode=mode,
+                                rank=failure.rank, kind=failure.kind,
+                                action="repartition"))
+                            comm = comm.without_rank(
+                                live.index(failure.rank))
+                            live.remove(failure.rank)
+                            partition = partition_tensor(
+                                tensor, len(live),
+                                block_size=options.block_size)
+                            engines = [MTTKRPEngine(shard)
+                                       for shard in partition.shards]
+                            for engine in engines:
+                                engine.trees.build_all()
+                            retries_left = max_retries
+                kmat = comm.allreduce_sum(locals_k)
+
+                # (3) fully local blocked ADMM per rank's row range.
+                with clock.stage("admm"):
+                    parts = []
+                    max_inner = 0
+                    mode_jitter = 0.0
+                    for r, rng in enumerate(partition.factor_ranges[mode]):
                         tick = time.perf_counter()
-                        if fault_plan is not None:
-                            fault_plan.maybe_fail(orig, iteration, mode)
-                        locals_k.append(engines[r].mttkrp(current, mode))
-                        rank_seconds[orig] += time.perf_counter() - tick
-                    break
-                except WorkerFailure as failure:
-                    if retries_left > 0:
-                        retries_left -= 1
-                        failover.append(FailoverEvent(
-                            iteration=iteration, mode=mode,
-                            rank=failure.rank, kind=failure.kind,
-                            action="retry"))
-                        continue
-                    if len(live) == 1:
-                        raise  # no survivor to fail over to
-                    failover.append(FailoverEvent(
-                        iteration=iteration, mode=mode, rank=failure.rank,
-                        kind=failure.kind, action="repartition"))
-                    comm = comm.without_rank(live.index(failure.rank))
-                    live.remove(failure.rank)
-                    partition = partition_tensor(
-                        tensor, len(live), block_size=options.block_size)
-                    engines = [MTTKRPEngine(shard)
-                               for shard in partition.shards]
-                    for engine in engines:
-                        engine.trees.build_all()
-                    retries_left = max_retries
-            mttkrp_seconds += time.perf_counter() - tick_all
-            kmat = comm.allreduce_sum(locals_k)
+                        local_state = AdmmState(
+                            states[mode].primal[rng].copy(),
+                            states[mode].dual[rng].copy())
+                        if local_state.rows:
+                            report = blocked_admm_update(
+                                local_state, kmat[rng], gram,
+                                constraints[mode],
+                                rho_policy=rho_policy,
+                                tolerance=options.inner_tolerance,
+                                max_iterations=options.max_inner_iterations,
+                                block_size=options.block_size,
+                                threads=1)
+                            max_inner = max(max_inner, report.iterations)
+                            mode_jitter = max(mode_jitter,
+                                              report.jitter_added)
+                        parts.append(local_state)
+                        rank_seconds[live[r]] += time.perf_counter() - tick
+                inner_iterations.append(max_inner)
+                jitter.append(mode_jitter)
 
-            # (3) fully local blocked ADMM per rank's row range.
-            tick_all = time.perf_counter()
-            parts = []
-            max_inner = 0
-            mode_jitter = 0.0
-            for r, rng in enumerate(partition.factor_ranges[mode]):
-                tick = time.perf_counter()
-                local_state = AdmmState(states[mode].primal[rng].copy(),
-                                        states[mode].dual[rng].copy())
-                if local_state.rows:
-                    report = blocked_admm_update(
-                        local_state, kmat[rng], gram, constraints[mode],
-                        rho_policy=rho_policy,
-                        tolerance=options.inner_tolerance,
-                        max_iterations=options.max_inner_iterations,
-                        block_size=options.block_size,
-                        threads=1)
-                    max_inner = max(max_inner, report.iterations)
-                    mode_jitter = max(mode_jitter, report.jitter_added)
-                parts.append(local_state)
-                rank_seconds[live[r]] += time.perf_counter() - tick
-            admm_seconds += time.perf_counter() - tick_all
-            inner_iterations.append(max_inner)
-            jitter.append(mode_jitter)
+                # (4) allgather the updated rows (and duals stay local, but
+                # we reassemble them too since every rank re-enters ADMM
+                # warm).
+                primal = comm.allgather_rows([p.primal for p in parts])
+                dual = np.concatenate([p.dual for p in parts], axis=0)
+                states[mode] = AdmmState(primal, dual)
 
-            # (4) allgather the updated rows (and duals stay local, but we
-            # reassemble them too since every rank re-enters ADMM warm).
-            primal = comm.allgather_rows([p.primal for p in parts])
-            dual = np.concatenate([p.dual for p in parts], axis=0)
-            states[mode] = AdmmState(primal, dual)
+                with clock.stage("other"):
+                    gram_cache.set_factor(mode, states[mode].primal)
+                last_mttkrp = kmat
 
-            tick = time.perf_counter()
-            gram_cache.set_factor(mode, states[mode].primal)
-            other_seconds += time.perf_counter() - tick
-            last_mttkrp = kmat
+            with clock.stage("other"):
+                assert last_mttkrp is not None
+                inner = float(np.einsum("ij,ij->", last_mttkrp,
+                                        states[nmodes - 1].primal))
+                model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
+                err = float(np.sqrt(max(norm_x_sq - 2 * inner + model_sq,
+                                        0.0) / norm_x_sq))
 
-        tick = time.perf_counter()
-        assert last_mttkrp is not None
-        inner = float(np.einsum("ij,ij->", last_mttkrp,
-                                states[nmodes - 1].primal))
-        model_sq = max(float(gram_cache.gram_all().sum()), 0.0)
-        err = float(np.sqrt(max(norm_x_sq - 2 * inner + model_sq, 0.0)
-                            / norm_x_sq))
-        other_seconds += time.perf_counter() - tick
-
-        trace.append(OuterIterationRecord(
+        trace.append(OuterIterationRecord.from_stages(
+            clock,
             iteration=len(trace) + 1, relative_error=err,
-            mttkrp_seconds=mttkrp_seconds, admm_seconds=admm_seconds,
-            other_seconds=other_seconds,
             inner_iterations=tuple(inner_iterations),
             factor_densities=tuple(
                 density(s.primal, options.factor_zero_tol)
                 for s in states),
             representations=tuple("dense" for _ in range(nmodes)),
             jitter_added=tuple(jitter)))
+        record_iteration(trace.records[-1], scope="daoadmm")
         if criterion.update(err):
             converged = criterion.reason == "tolerance"
             break

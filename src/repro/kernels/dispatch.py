@@ -7,7 +7,9 @@ per-tree slab tilings and kernel workspaces (also built once; see
 :mod:`repro.tensor.tiling` and :mod:`repro.kernels.workspace`), and the
 per-mode factor *representations* (rebuilt when a factor changes — the
 factors' sparsity is dynamic, Section IV-C).  It records per-call
-statistics for the benchmark harness and the machine model.
+statistics for the benchmark harness and the machine model, and mirrors
+every call — including memoized ``method="csf"`` hits — into
+:mod:`repro.observability` when observability is enabled.
 """
 
 from __future__ import annotations
@@ -19,6 +21,14 @@ from typing import Literal
 import numpy as np
 
 from ..config import SPARSITY_THRESHOLD
+from ..observability import (
+    is_enabled,
+    record_cache_event,
+    record_mttkrp_call,
+    record_representation,
+    record_tiling,
+    span,
+)
 from ..sparse.analysis import choose_representation, density
 from ..sparse.csr import CSRMatrix
 from ..sparse.hybrid import HybridFactor
@@ -61,7 +71,11 @@ def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
     key = (id(tensor), mode)
     hit = _CSF_METHOD_CACHE.get(key)
     if hit is not None and hit[0] is tensor.coords and hit[1] is tensor.vals:
+        # A memoized tree used to make the call's stats vanish entirely;
+        # the registry keeps every invocation visible (cache_hit counter).
+        record_cache_event("mttkrp_csf_method", hit=True)
         return hit[2]
+    record_cache_event("mttkrp_csf_method", hit=False)
     order = None if mode == 0 else (
         (mode,) + tuple(m for m in range(tensor.nmodes) if m != mode))
     tree = CSFTensor.from_coo(tensor, mode_order=order)
@@ -86,7 +100,19 @@ def mttkrp(tensor: COOTensor | CSFTensor | AllModeCSF, factors: FactorList,
     if method in ("auto", "coo"):
         return mttkrp_coo(tensor, factors, mode)
     if method == "csf":
-        return mttkrp_csf(_csf_for_method(tensor, mode), factors, mode)
+        tree = _csf_for_method(tensor, mode)
+        start = time.perf_counter()
+        with span("mttkrp", mode=mode, method="csf"):
+            out = mttkrp_csf(tree, factors, mode)
+        if is_enabled():
+            record_mttkrp_call(MTTKRPCallStats(
+                mode=mode, leaf_mode=tree.mode_order[-1],
+                representation="dense",
+                gathered_nnz=tree.nnz * int(np.asarray(factors[0]).shape[1]),
+                tensor_nnz=tree.nnz,
+                seconds=time.perf_counter() - start,
+            ), rank=int(np.asarray(factors[0]).shape[1]))
+        return out
     raise ValueError(f"unknown MTTKRP method {method!r}")
 
 
@@ -186,6 +212,7 @@ class MTTKRPEngine:
             tiling = CSFTiling(self.trees.csf(root_mode),
                                slab_nnz_target=self.slab_nnz_target)
             self._tilings[root_mode] = tiling
+            record_tiling(tiling, root_mode)
         return tiling
 
     def workspace(self, root_mode: int) -> KernelWorkspace:
@@ -222,6 +249,7 @@ class MTTKRPEngine:
             rep = np.ascontiguousarray(factor)
         self._reps[mode] = rep
         self._rep_names[mode] = name
+        record_representation(mode, name, rep)
         return name
 
     def representation(self, mode: int) -> str:
@@ -258,17 +286,21 @@ class MTTKRPEngine:
             tiling = self.tiling(0)
             ws = self.workspace(0)
             allocs0, bytes0 = ws.snapshot()
-            out = mttkrp_csf(csf, factors, mode, tiling=tiling,
-                             workspace=ws, threads=self.threads)
+            with span("mttkrp", mode=mode, representation="dense"):
+                out = mttkrp_csf(csf, factors, mode, tiling=tiling,
+                                 workspace=ws, threads=self.threads)
             _, bytes1 = ws.snapshot()
-            self.call_log.append(MTTKRPCallStats(
+            stats = MTTKRPCallStats(
                 mode=mode, leaf_mode=csf.mode_order[-1],
                 representation="dense",
                 gathered_nnz=csf.nnz * int(np.asarray(factors[0]).shape[1]),
                 tensor_nnz=csf.nnz,
                 slab_count=tiling.slab_count,
                 bytes_allocated=bytes1 - bytes0,
-                seconds=time.perf_counter() - start))
+                seconds=time.perf_counter() - start)
+            self.call_log.append(stats)
+            record_mttkrp_call(
+                stats, rank=int(np.asarray(factors[0]).shape[1]))
             return out
         csf = self.trees.csf(mode)
         leaf_mode = csf.mode_order[-1]
@@ -278,8 +310,9 @@ class MTTKRPEngine:
             tiling = self.tiling(mode)
             ws = self.workspace(mode)
             _, bytes0 = ws.snapshot()
-            out = mttkrp_csf(csf, factors, mode, tiling=tiling,
-                             workspace=ws, threads=self.threads)
+            with span("mttkrp", mode=mode, representation="dense"):
+                out = mttkrp_csf(csf, factors, mode, tiling=tiling,
+                                 workspace=ws, threads=self.threads)
             _, bytes1 = ws.snapshot()
             rep_name = "dense"
             touched = csf.nnz * int(np.asarray(factors[0]).shape[1])
@@ -291,14 +324,17 @@ class MTTKRPEngine:
                 # One-time per tree: the tensor pattern is static.
                 agg = leaf_aggregator(csf)
                 self._aggregators[mode] = agg
-            out = mttkrp_csf_root_repr(csf, factors, rep, aggregator=agg)
             rep_name = representation_name(rep)
+            with span("mttkrp", mode=mode, representation=rep_name):
+                out = mttkrp_csf_root_repr(csf, factors, rep, aggregator=agg)
             touched = representation_nnz(rep, csf.fids[csf.nmodes - 1])
             slab_count = 1
             bytes_allocated = 0
-        self.call_log.append(MTTKRPCallStats(
+        stats = MTTKRPCallStats(
             mode=mode, leaf_mode=leaf_mode, representation=rep_name,
             gathered_nnz=touched, tensor_nnz=csf.nnz,
             slab_count=slab_count, bytes_allocated=bytes_allocated,
-            seconds=time.perf_counter() - start))
+            seconds=time.perf_counter() - start)
+        self.call_log.append(stats)
+        record_mttkrp_call(stats, rank=int(np.asarray(factors[0]).shape[1]))
         return out

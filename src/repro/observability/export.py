@@ -1,0 +1,163 @@
+"""Exporters for metrics snapshots.
+
+Three formats, all pure functions of a
+:meth:`~repro.observability.registry.MetricsRegistry.snapshot` dict:
+
+* **JSON-lines** — one instrument per line, lossless
+  (:func:`write_jsonl` / :func:`read_jsonl` round-trip to the identical
+  snapshot; tested);
+* **human report table** — rendered through
+  :func:`repro.bench.tables.format_table`, the same formatter the
+  paper-style benchmark tables use;
+* **Prometheus text exposition** — opt-in scrape-compatible dump
+  (counters, gauges, and cumulative ``_bucket``/``_sum``/``_count``
+  histogram series).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a rendered ``name{k=v,...}`` key back into (name, labels)."""
+    match = _KEY_RE.match(key)
+    if match is None:  # pragma: no cover - render_key never produces this
+        return key, {}
+    name = match.group("name")
+    raw = match.group("labels")
+    if not raw:
+        return name, {}
+    labels = dict(part.split("=", 1) for part in raw.split(","))
+    return name, labels
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+def snapshot_lines(snapshot: dict) -> list[str]:
+    """Serialize a snapshot as JSONL strings (one instrument per line)."""
+    lines = []
+    for kind in ("counters", "gauges", "histograms"):
+        for key, value in snapshot.get(kind, {}).items():
+            name, labels = parse_key(key)
+            entry: dict = {"kind": kind[:-1], "name": name, "labels": labels}
+            if kind == "histograms":
+                entry.update(value)
+            else:
+                entry["value"] = value
+            lines.append(json.dumps(entry, sort_keys=True))
+    return lines
+
+
+def write_jsonl(snapshot: dict, path: "str | Path") -> Path:
+    """Write a snapshot to *path* as JSON-lines; returns the path."""
+    path = Path(path)
+    path.write_text("\n".join(snapshot_lines(snapshot)) + "\n")
+    return path
+
+
+def read_jsonl(path: "str | Path") -> dict:
+    """Parse a JSONL export back into the identical snapshot dict."""
+    from .registry import render_key
+
+    snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        key = render_key(entry["name"], entry["labels"])
+        kind = entry["kind"] + "s"
+        if kind == "histograms":
+            snapshot[kind][key] = {
+                "count": entry["count"], "sum": entry["sum"],
+                "min": entry["min"], "max": entry["max"],
+                "buckets": entry["buckets"], "counts": entry["counts"],
+            }
+        else:
+            snapshot[kind][key] = entry["value"]
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Human report
+# ----------------------------------------------------------------------
+def report(snapshot: dict, title: str = "observability report") -> str:
+    """Render a snapshot as aligned ASCII tables (counters, gauges,
+    histograms with count/mean/min/max)."""
+    from ..bench.tables import format_table  # lazy: avoids import cycle
+
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [{"counter": k, "value": v}
+                for k, v in sorted(counters.items())]
+        sections.append(format_table(rows, title=f"{title} — counters"))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [{"gauge": k, "value": v} for k, v in sorted(gauges.items())]
+        sections.append(format_table(rows, title=f"{title} — gauges"))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for key, h in sorted(histograms.items()):
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            rows.append({"histogram": key, "count": h["count"],
+                         "mean": mean,
+                         "min": h["min"] if h["min"] is not None else "",
+                         "max": h["max"] if h["max"] is not None else "",
+                         "sum": h["sum"]})
+        sections.append(format_table(rows, title=f"{title} — histograms"))
+    if not sections:
+        return f"{title}: (no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Prometheus text-format dump of a snapshot (opt-in exporter)."""
+    out: list[str] = []
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = parse_key(key)
+        pname = _prom_name(name) + "_total"
+        out.append(f"# TYPE {pname} counter")
+        out.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = parse_key(key)
+        pname = _prom_name(name)
+        out.append(f"# TYPE {pname} gauge")
+        out.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, h in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = parse_key(key)
+        pname = _prom_name(name)
+        out.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(h["buckets"], h["counts"]):
+            cumulative += count
+            lbl = dict(labels)
+            lbl["le"] = repr(float(bound)) if not math.isinf(bound) else "+Inf"
+            out.append(f"{pname}_bucket{_prom_labels(lbl)} {cumulative}")
+        lbl = dict(labels)
+        lbl["le"] = "+Inf"
+        out.append(f"{pname}_bucket{_prom_labels(lbl)} {h['count']}")
+        out.append(f"{pname}_sum{_prom_labels(labels)} {h['sum']}")
+        out.append(f"{pname}_count{_prom_labels(labels)} {h['count']}")
+    return "\n".join(out) + ("\n" if out else "")

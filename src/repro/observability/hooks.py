@@ -1,0 +1,187 @@
+"""Profiling hooks: the instrumentation points the runtime calls into.
+
+Each ``record_*`` function is a cheap early-return no-op while
+observability is disabled; when enabled it turns one runtime event —
+an MTTKRP call, an inner ADMM solve, a factor-representation switch, a
+finished outer iteration — into registry counters/gauges/histograms,
+and forwards the raw payload to any registered pluggable hooks.
+
+The MTTKRP hook also derives analytic flop/byte estimates and the
+single-core roofline time from :mod:`repro.machine.spec`, so measured
+kernel seconds can be read against what the machine model says the
+hardware allows (the ROADMAP's "as fast as the hardware allows" check).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..machine.spec import PAPER_MACHINE, MachineSpec
+from .registry import ITERATION_BUCKETS
+from .state import active_registry, is_enabled
+
+#: Pluggable hooks: ``hook(event: str, payload: dict)`` called on every
+#: recorded event while observability is enabled.
+_HOOKS: list[Callable[[str, dict], None]] = []
+
+
+def add_hook(hook: Callable[[str, dict], None]) -> None:
+    """Register a pluggable profiling hook (called as ``hook(event, payload)``)."""
+    _HOOKS.append(hook)
+
+
+def remove_hook(hook: Callable[[str, dict], None]) -> None:
+    """Unregister a previously added hook (no error if absent)."""
+    try:
+        _HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def _emit(event: str, payload: dict) -> None:
+    for hook in _HOOKS:
+        hook(event, payload)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level estimates (machine/spec.py)
+# ----------------------------------------------------------------------
+def mttkrp_flops_bytes(tensor_nnz: int, gathered_nnz: int,
+                       rank: int) -> tuple[float, float]:
+    """Analytic (flops, DRAM bytes) estimate of one MTTKRP call.
+
+    Mirrors :func:`repro.machine.kernels.mttkrp_kernel_cost` at summary
+    granularity: ~3 flops per gathered factor entry (multiply into the
+    running Hadamard product plus the fiber/slice accumulations), and
+    read traffic of the tensor's values+indices plus the gathered factor
+    rows.  ``gathered_nnz`` is the *stored* entries the leaf gather
+    touches — for sparse factor representations it is what shrinks.
+    """
+    flops = 3.0 * float(gathered_nnz)
+    bytes_ = 12.0 * float(tensor_nnz) + 8.0 * float(gathered_nnz) \
+        + 8.0 * float(tensor_nnz) / max(float(rank), 1.0)
+    return flops, bytes_
+
+
+def roofline_seconds(flops: float, dram_bytes: float,
+                     machine: MachineSpec = PAPER_MACHINE,
+                     threads: int = 1) -> float:
+    """Single-socket roofline lower bound for an estimated kernel."""
+    compute = flops / machine.flops(threads, efficiency=0.5)
+    memory = dram_bytes / machine.bandwidth(threads, "read")
+    return max(compute, memory)
+
+
+# ----------------------------------------------------------------------
+# Instrumentation points
+# ----------------------------------------------------------------------
+def record_mttkrp_call(stats, rank: int | None = None) -> None:
+    """One engine/dispatch MTTKRP call (an ``MTTKRPCallStats``)."""
+    if not is_enabled():
+        return
+    reg = active_registry()
+    mode = stats.mode
+    reg.counter("mttkrp_calls", mode=mode,
+                representation=stats.representation).inc()
+    reg.histogram("mttkrp_seconds", mode=mode).observe(stats.seconds)
+    reg.counter("mttkrp_gathered_nnz", mode=mode).inc(stats.gathered_nnz)
+    if stats.bytes_allocated:
+        reg.counter("mttkrp_workspace_bytes_allocated",
+                    mode=mode).inc(stats.bytes_allocated)
+    if rank is not None:
+        flops, bytes_ = mttkrp_flops_bytes(stats.tensor_nnz,
+                                           stats.gathered_nnz, rank)
+        reg.counter("mttkrp_est_flops", mode=mode).inc(int(flops))
+        reg.counter("mttkrp_est_bytes", mode=mode).inc(int(bytes_))
+        floor = roofline_seconds(flops, bytes_)
+        if stats.seconds > 0.0:
+            reg.gauge("mttkrp_roofline_fraction",
+                      mode=mode).set(floor / stats.seconds)
+    _emit("mttkrp", {"stats": stats, "rank": rank})
+
+
+def record_cache_event(cache: str, hit: bool) -> None:
+    """A memoization lookup (e.g. the ``mttkrp(method="csf")`` tree memo).
+
+    Cached calls used to vanish from the stats stream entirely; routing
+    them here keeps every invocation visible (``*_cache_hits`` /
+    ``*_cache_misses`` counters).
+    """
+    if not is_enabled():
+        return
+    reg = active_registry()
+    reg.counter(f"{cache}_cache_hits" if hit
+                else f"{cache}_cache_misses").inc()
+    _emit("cache", {"cache": cache, "hit": hit})
+
+
+def record_tiling(tiling, root_mode: int) -> None:
+    """A freshly built slab tiling: slab count and nnz imbalance."""
+    if not is_enabled():
+        return
+    reg = active_registry()
+    reg.gauge("slab_count", mode=root_mode).set(tiling.slab_count)
+    nnz = [slab.nnz for slab in tiling.slabs]
+    if nnz:
+        mean = sum(nnz) / len(nnz)
+        imbalance = (max(nnz) / mean) if mean > 0 else 1.0
+        reg.gauge("slab_imbalance", mode=root_mode).set(imbalance)
+    _emit("tiling", {"tiling": tiling, "root_mode": root_mode})
+
+
+def record_representation(mode: int, name: str, rep: object = None) -> None:
+    """A factor-representation decision (Section IV-C dynamic switching)."""
+    if not is_enabled():
+        return
+    reg = active_registry()
+    reg.counter("factor_repr_updates", mode=mode, representation=name).inc()
+    n_dense = getattr(rep, "n_dense_cols", None)
+    if name == "csr-h" and n_dense is not None:
+        ncols = rep.shape[1]
+        reg.gauge("csrh_dense_col_ratio",
+                  mode=mode).set(n_dense / ncols if ncols else 0.0)
+    _emit("representation", {"mode": mode, "name": name, "rep": rep})
+
+
+def record_admm_report(report, mode: int, blocked: bool) -> None:
+    """One inner ADMM solve (blocked or full-matrix) for one mode.
+
+    Blocked reports contribute one histogram observation *per block* —
+    the per-block inner-iteration distribution is the paper's
+    non-uniform-convergence evidence (Section III-B / IV-B).
+    """
+    if not is_enabled():
+        return
+    reg = active_registry()
+    hist = reg.histogram("admm_inner_iterations", buckets=ITERATION_BUCKETS,
+                         mode=mode)
+    block_iters = getattr(report, "block_iterations", None)
+    if blocked and block_iters is not None:
+        for iters in block_iters:
+            hist.observe(iters)
+        reg.counter("admm_block_solves", mode=mode).inc(len(block_iters))
+    else:
+        hist.observe(report.iterations)
+    reg.counter("admm_updates", mode=mode).inc()
+    reg.gauge("admm_rho", mode=mode).set(report.rho)
+    if report.jitter_added:
+        reg.counter("cholesky_jitter_events", mode=mode).inc()
+    _emit("admm", {"report": report, "mode": mode, "blocked": blocked})
+
+
+def record_iteration(record, scope: str = "aoadmm") -> None:
+    """A completed outer iteration (an ``OuterIterationRecord``)."""
+    if not is_enabled():
+        return
+    reg = active_registry()
+    reg.counter("outer_iterations", scope=scope).inc()
+    reg.histogram("iteration_seconds",
+                  scope=scope).observe(record.total_seconds)
+    reg.gauge("relative_error", scope=scope).set(record.relative_error)
+    for mode, inner in enumerate(record.inner_iterations):
+        reg.histogram("inner_iterations_per_mode",
+                      buckets=ITERATION_BUCKETS, scope=scope,
+                      mode=mode).observe(inner)
+    if record.guard_events:
+        reg.counter("guard_events", scope=scope).inc(len(record.guard_events))
+    _emit("iteration", {"record": record, "scope": scope})

@@ -1,0 +1,49 @@
+"""The process-wide observability state.
+
+A single mutable slot holding the active :class:`MetricsRegistry`.
+Instrumented code reads it through :func:`active_registry` /
+:func:`is_enabled`; the :class:`~repro.observability.Observability`
+handle swaps it.  Kept in its own module so ``tracing`` and ``hooks``
+can share it without importing the package ``__init__`` (no cycles).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .registry import MetricsRegistry
+
+#: Environment variable that enables observability at import time
+#: (``REPRO_OBSERVE=1``); anything false-y ("", "0") leaves it disabled.
+ENV_VAR = "REPRO_OBSERVE"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "") not in ("", "0", "false", "no")
+
+
+class _State:
+    __slots__ = ("registry",)
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry(enabled=_env_enabled())
+
+
+_STATE = _State()
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry instrumented code currently reports into."""
+    return _STATE.registry
+
+
+def set_active_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry; returns the previous one."""
+    previous = _STATE.registry
+    _STATE.registry = registry
+    return previous
+
+
+def is_enabled() -> bool:
+    """Cheap hot-path check: is observability currently recording?"""
+    return _STATE.registry.enabled

@@ -14,7 +14,7 @@ from .random import (
     lowrank_coo,
     noisy_lowrank_coo,
 )
-from .io import read_tns, write_tns
+from .io import load_tns, read_tns, save_tns, write_tns
 from .stats import TensorStats, compute_stats
 
 __all__ = [
@@ -34,6 +34,8 @@ __all__ = [
     "noisy_lowrank_coo",
     "read_tns",
     "write_tns",
+    "load_tns",
+    "save_tns",
     "TensorStats",
     "compute_stats",
 ]

@@ -73,3 +73,9 @@ def write_tns(tensor: COOTensor, path: str | Path,
             buf.write(f"{idx} {tensor.vals[p]:.17g}\n")
         handle.write(buf.getvalue())
     return path
+
+
+#: Preferred public names — ``repro.load_tns`` / ``repro.save_tns`` read
+#: better at the call site than the historical read/write spellings.
+load_tns = read_tns
+save_tns = write_tns
