@@ -1,0 +1,6 @@
+"""``python -m repro.testing`` — the differential fuzz/replay CLI."""
+
+from .differential import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+RNG policy (audited 2026-08): no test may draw from an *unseeded* source.
+Everything goes through the seeded ``rng`` / ``make_rng`` fixtures, an
+explicit ``np.random.default_rng(<constant>)``, or the spec-replayable
+generators in :mod:`repro.testing.strategies`.  The audit found no
+module-level ``np.random.*`` calls left; the ``pytest_runtest_setup``
+hook below keeps it that way by pinning numpy's legacy global RNG to a
+per-test deterministic seed, so any future slip produces the same values
+on every run (and under ``-p no:randomly``-style reordering) instead of
+process-global nondeterminism.  A hook rather than an autouse fixture so
+hypothesis's function-scoped-fixture health check stays quiet.
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -9,10 +23,27 @@ from repro.tensor import COOTensor, random_coo
 from repro.tensor.random import random_factors
 
 
+def pytest_runtest_setup(item) -> None:
+    np.random.seed(zlib.crc32(item.nodeid.encode()))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator for the whole suite."""
     return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for independent deterministic generators.
+
+    Use when one test needs several uncorrelated streams:
+    ``gen = make_rng(1)`` — same seed root, separated substreams.
+    """
+    def factory(stream: int = 0) -> np.random.Generator:
+        return np.random.default_rng([0xC0FFEE, stream])
+
+    return factory
 
 
 @pytest.fixture

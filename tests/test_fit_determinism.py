@@ -1,0 +1,52 @@
+"""``repro.fit`` determinism: same seed ⇒ bit-identical factors.
+
+The contract under test: for every method, the factors are a pure
+function of ``(tensor, options, seed)`` — unaffected by the thread count
+resolved from ``REPRO_NUM_THREADS`` and by whether observability is
+collecting metrics.  Verified bitwise through the differential harness
+so any violation comes back with a seed-replay string.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.testing import compare_factor_sets, make_case
+
+#: One lowrank strategy case: a meaningful optimization target for all
+#: four methods (mu needs nonnegative data, which planted factors give).
+CASE = make_case(41, 6)
+
+FIT_KWARGS = dict(rank=3, constraints="nonneg", seed=7,
+                  max_outer_iterations=4, outer_tolerance=0.0,
+                  threads=None)  # threads=None: resolve from the env var
+
+
+def _factors(monkeypatch, method, env_threads, observe):
+    monkeypatch.setenv("REPRO_NUM_THREADS", env_threads)
+    result = repro.fit(CASE.tensor, method=method, observe=observe,
+                       **FIT_KWARGS)
+    return [np.array(f, copy=True) for f in result.model.factors]
+
+
+@pytest.mark.parametrize("method", repro.METHODS)
+def test_factors_bitwise_invariant_to_threads_and_observe(
+        monkeypatch, method):
+    reference = _factors(monkeypatch, method, "1", observe=False)
+    for env_threads in ("1", "4"):
+        for observe in (False, True):
+            factors = _factors(monkeypatch, method, env_threads, observe)
+            compare_factor_sets(
+                CASE.spec, f"{method}[t=1,observe=off]",
+                f"{method}[t={env_threads},observe={'on' if observe else 'off'}]",
+                reference, factors, bitwise=True).raise_for_failures()
+
+
+@pytest.mark.parametrize("method", repro.METHODS)
+def test_trace_and_stop_reason_deterministic(monkeypatch, method):
+    monkeypatch.setenv("REPRO_NUM_THREADS", "1")
+    a = repro.fit(CASE.tensor, method=method, observe=False, **FIT_KWARGS)
+    monkeypatch.setenv("REPRO_NUM_THREADS", "4")
+    b = repro.fit(CASE.tensor, method=method, observe=True, **FIT_KWARGS)
+    assert a.stop_reason == b.stop_reason
+    np.testing.assert_array_equal(a.trace.errors(), b.trace.errors())

@@ -6,6 +6,7 @@ firmly nonexpansive; outputs are feasible for indicator constraints.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -22,6 +23,8 @@ from repro.constraints import (
     make_constraint,
     project_rows_simplex,
 )
+
+pytestmark = pytest.mark.property
 
 matrices = hnp.arrays(
     np.float64,

@@ -2,6 +2,7 @@
 power laws, and the Khatri-Rao algebra."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -18,6 +19,8 @@ from repro.parallel import (
     run_schedule,
 )
 from repro.sparse import CSRMatrix, HybridFactor
+
+pytestmark = pytest.mark.property
 
 sparse_mats = hnp.arrays(
     np.float64,

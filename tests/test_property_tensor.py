@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the tensor substrate."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -8,6 +9,8 @@ from hypothesis.extra import numpy as hnp
 from repro.kernels import mttkrp_coo, mttkrp_coo_reference, mttkrp_csf
 from repro.tensor import COOTensor, CSFTensor
 from repro.tensor.matricize import delinearize_indices, linearize_indices
+
+pytestmark = pytest.mark.property
 
 
 @st.composite
