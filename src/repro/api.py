@@ -122,7 +122,11 @@ def fit(tensor: COOTensor,
         Forwarded to the driver (``resume_from`` is AO-ADMM only).
     **option_kwargs:
         Any other :class:`AOADMMOptions` field (or legacy alias), e.g.
-        ``blocked=False, seed=0, max_outer_iterations=50``.
+        ``blocked=False, seed=0, max_outer_iterations=50``.  Notably
+        ``executor="process"`` (or ``REPRO_EXECUTOR=process`` in the
+        environment) runs the MTTKRP slab kernels in a shared-memory
+        worker pool instead of threads — bit-identical results, no GIL
+        (see ``docs/parallelism.md``).
     """
     require(method in METHODS,
             f"unknown method {method!r}; choose from {METHODS}")

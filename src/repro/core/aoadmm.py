@@ -171,12 +171,14 @@ def fit_aoadmm(tensor: COOTensor,
                        for f in initial_factors]
         states = [AdmmState.from_factor(f) for f in factors]
 
+    owned_engine = engine is None
     if engine is None:
         engine = MTTKRPEngine(tensor, repr_policy=options.repr_policy,
                               sparsity_threshold=options.sparsity_threshold,
                               tol=options.factor_zero_tol,
                               threads=options.threads,
-                              slab_nnz_target=options.slab_nnz_target)
+                              slab_nnz_target=options.slab_nnz_target,
+                              executor=options.executor)
         engine.trees.build_all()
     if checkpoint is not None:
         # Rebuild the dynamic factor representations (Section IV-C) the
@@ -347,5 +349,14 @@ def fit_aoadmm(tensor: COOTensor,
             break
 
     model = CPModel([s.primal.copy() for s in states])
+    if engine.executor_events:
+        # Pool-failure fallbacks are guard events of the run, not just
+        # of the engine: persist them with the numerical-guard log.
+        trace.guard_log.extend(engine.executor_events)
+        engine.executor_events.clear()
+    if owned_engine:
+        # Release the engine's shared-memory segments (no-op for
+        # in-process executors); a caller-supplied engine stays open.
+        engine.close()
     return FactorizationResult(model=model, trace=trace, converged=converged,
                                stop_reason=stop_reason, options=options)

@@ -56,6 +56,15 @@ class AOADMMOptions:
         Thread count for the real pool used by blocked ADMM and by the
         slab-tiled MTTKRP kernels (results are bit-identical for any
         value; scalability is studied on the machine model).
+    executor:
+        Execution backend for the slab-tiled MTTKRP kernels:
+        ``"serial"``, ``"thread"``, ``"process"``, or an
+        :class:`~repro.parallel.executor.ExecutorBase` instance.
+        ``None`` (the default) resolves the ``REPRO_EXECUTOR``
+        environment variable, falling back to ``"thread"``.  The process
+        executor runs slab batches in a persistent shared-memory worker
+        pool, sidestepping the GIL; results are bit-identical across all
+        executors (see ``docs/parallelism.md``).
     slab_nnz_target:
         Non-zeros per MTTKRP slab for the engine's CSF tilings
         (Section IV-A slice parallelism).  ``None`` uses
@@ -93,6 +102,7 @@ class AOADMMOptions:
     init: str = "uniform"
     seed: SeedLike = None
     threads: int | None = 1
+    executor: object = None
     slab_nnz_target: int | None = None
     track_block_reports: bool = False
     #: Called after every outer iteration with the fresh
@@ -117,6 +127,11 @@ class AOADMMOptions:
         if self.slab_nnz_target is not None:
             require(self.slab_nnz_target >= 1,
                     "slab_nnz_target must be positive")
+        if isinstance(self.executor, str):
+            from ..parallel.executor import EXECUTOR_NAMES
+            require(self.executor in EXECUTOR_NAMES,
+                    f"unknown executor {self.executor!r} "
+                    f"(choose from {EXECUTOR_NAMES})")
         if self.time_budget_seconds is not None:
             require(self.time_budget_seconds > 0.0,
                     "time budget must be positive")

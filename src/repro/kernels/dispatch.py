@@ -24,11 +24,16 @@ from ..config import SPARSITY_THRESHOLD
 from ..observability import (
     is_enabled,
     record_cache_event,
+    record_executor_fallback,
     record_mttkrp_call,
     record_representation,
     record_tiling,
     span,
 )
+from ..parallel.executor import ExecutorBase, get_executor, resolve_executor
+from ..parallel.procpool import ProcessPoolBroken
+from ..parallel.shm import ShmArena
+from ..parallel.threadpool import effective_threads
 from ..sparse.analysis import choose_representation, density
 from ..sparse.csr import CSRMatrix
 from ..sparse.hybrid import HybridFactor
@@ -132,6 +137,12 @@ class MTTKRPCallStats:
     bytes_allocated: int = 0
     #: Wall-clock seconds of the kernel call.
     seconds: float = 0.0
+    #: Execution backend that ran the slabs (``serial``/``thread``/
+    #: ``process``; monolithic and sparse-representation calls run
+    #: inline regardless).
+    executor: str = "thread"
+    #: Worker/thread count the call was allowed to use.
+    workers: int = 1
 
 
 class MTTKRPEngine:
@@ -162,6 +173,18 @@ class MTTKRPEngine:
     slab_nnz_target:
         Non-zeros per slab for the tilings (``None`` =
         :data:`repro.config.DEFAULT_SLAB_NNZ`).
+    executor:
+        Execution backend for the tiled kernels: ``"serial"``,
+        ``"thread"``, ``"process"``, or an
+        :class:`~repro.parallel.executor.ExecutorBase` instance.
+        ``None`` resolves ``REPRO_EXECUTOR`` (default ``thread``).  The
+        process executor maps the CSF arrays and factors into shared
+        memory and runs slab batches GIL-free in a persistent worker
+        pool; results stay bit-identical across all executors.  If the
+        pool breaks beyond its respawn budget mid-call, the engine
+        records a :class:`~repro.robustness.guards.GuardEvent` in
+        :attr:`executor_events`, falls back to the thread executor for
+        the rest of its lifetime, and recomputes the call.
 
     Notes
     -----
@@ -169,6 +192,11 @@ class MTTKRPEngine:
     the returned array is valid until the **next** call for the same
     mode.  Every driver in this repository consumes the output before
     then; copy it if you need it to survive.
+
+    A process-executor engine owns shared-memory segments; call
+    :meth:`close` (or use the engine as a context manager) to release
+    them deterministically — garbage collection and an ``atexit`` sweep
+    cover engines that are simply dropped.
     """
 
     def __init__(self, tensor: COOTensor,
@@ -177,7 +205,8 @@ class MTTKRPEngine:
                  tol: float = 0.0,
                  csf_allocation: str = "all",
                  threads: int | None = 1,
-                 slab_nnz_target: int | None = None):
+                 slab_nnz_target: int | None = None,
+                 executor: "str | ExecutorBase | None" = None):
         require(repr_policy in ("dense", "csr", "hybrid", "auto"),
                 f"unknown representation policy {repr_policy!r}")
         require(csf_allocation in ("all", "one"),
@@ -189,6 +218,15 @@ class MTTKRPEngine:
         self.tol = float(tol)
         self.threads = threads
         self.slab_nnz_target = slab_nnz_target
+        self._executor = resolve_executor(executor)
+        #: Shared-memory plane for the process executor (one arena per
+        #: engine; ``None`` for in-process executors).
+        self._arena: ShmArena | None = (
+            ShmArena(tag="engine") if self._executor.offloads_slabs
+            else None)
+        #: Guard events from executor failures (pool broken → thread
+        #: fallback), in order.
+        self.executor_events: list = []
         self._reps: dict[int, FactorRepresentation] = {}
         self._rep_names: dict[int, str] = {}
         self._aggregators: dict[int, object] = {}
@@ -201,6 +239,58 @@ class MTTKRPEngine:
     @property
     def nmodes(self) -> int:
         return self.trees.nmodes
+
+    @property
+    def executor_name(self) -> str:
+        """Name of the executor currently serving the tiled kernels."""
+        return self._executor.name
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine's shared-memory segments (idempotent).
+
+        The worker pool itself is the executor's (usually the
+        process-wide singleton's) and stays warm for other engines.
+        """
+        if self._arena is not None:
+            self._arena.close()
+
+    def __enter__(self) -> "MTTKRPEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _fallback_to_threads(self, exc: Exception, mode: int) -> None:
+        """Pool broke beyond repair: record the event, demote to threads."""
+        from ..robustness.guards import GuardEvent
+        event = GuardEvent(iteration=0, kind="worker_lost", site="mttkrp",
+                           action="executor_fallback", mode=mode,
+                           detail=f"{self._executor.name} -> thread: "
+                                  f"{exc}")
+        self.executor_events.append(event)
+        record_executor_fallback(self._executor.name, "thread",
+                                 detail=str(exc))
+        self._executor = get_executor("thread")
+
+    def _run_tiled(self, csf, factors, mode: int, tiling, ws) -> np.ndarray:
+        """One tiled MTTKRP, with pool-failure fallback + single retry.
+
+        Slab batches are idempotent (disjoint fully-overwritten output
+        ranges), so recomputing the whole call after a fallback is safe
+        and bit-identical.
+        """
+        try:
+            return mttkrp_csf(csf, factors, mode, tiling=tiling,
+                              workspace=ws, threads=self.threads,
+                              executor=self._executor)
+        except ProcessPoolBroken as exc:
+            self._fallback_to_threads(exc, mode)
+            return mttkrp_csf(csf, factors, mode, tiling=tiling,
+                              workspace=ws, threads=self.threads,
+                              executor=self._executor)
 
     # ------------------------------------------------------------------
     # Tiling / workspace management (static: one per tree, built lazily)
@@ -219,7 +309,8 @@ class MTTKRPEngine:
         """The kernel workspace of the tree rooted at *root_mode*."""
         ws = self._workspaces.get(root_mode)
         if ws is None:
-            ws = KernelWorkspace(self.tiling(root_mode))
+            ws = KernelWorkspace(self.tiling(root_mode),
+                                 shared_arena=self._arena)
             self._workspaces[root_mode] = ws
         return ws
 
@@ -287,8 +378,7 @@ class MTTKRPEngine:
             ws = self.workspace(0)
             allocs0, bytes0 = ws.snapshot()
             with span("mttkrp", mode=mode, representation="dense"):
-                out = mttkrp_csf(csf, factors, mode, tiling=tiling,
-                                 workspace=ws, threads=self.threads)
+                out = self._run_tiled(csf, factors, mode, tiling, ws)
             _, bytes1 = ws.snapshot()
             stats = MTTKRPCallStats(
                 mode=mode, leaf_mode=csf.mode_order[-1],
@@ -297,7 +387,9 @@ class MTTKRPEngine:
                 tensor_nnz=csf.nnz,
                 slab_count=tiling.slab_count,
                 bytes_allocated=bytes1 - bytes0,
-                seconds=time.perf_counter() - start)
+                seconds=time.perf_counter() - start,
+                executor=self._executor.name,
+                workers=effective_threads(self.threads))
             self.call_log.append(stats)
             record_mttkrp_call(
                 stats, rank=int(np.asarray(factors[0]).shape[1]))
@@ -311,13 +403,13 @@ class MTTKRPEngine:
             ws = self.workspace(mode)
             _, bytes0 = ws.snapshot()
             with span("mttkrp", mode=mode, representation="dense"):
-                out = mttkrp_csf(csf, factors, mode, tiling=tiling,
-                                 workspace=ws, threads=self.threads)
+                out = self._run_tiled(csf, factors, mode, tiling, ws)
             _, bytes1 = ws.snapshot()
             rep_name = "dense"
             touched = csf.nnz * int(np.asarray(factors[0]).shape[1])
             slab_count = tiling.slab_count
             bytes_allocated = bytes1 - bytes0
+            call_executor = self._executor.name
         else:
             agg = self._aggregators.get(mode)
             if agg is None:
@@ -330,11 +422,15 @@ class MTTKRPEngine:
             touched = representation_nnz(rep, csf.fids[csf.nmodes - 1])
             slab_count = 1
             bytes_allocated = 0
+            # Sparse-representation calls run inline in the parent.
+            call_executor = "serial"
         stats = MTTKRPCallStats(
             mode=mode, leaf_mode=leaf_mode, representation=rep_name,
             gathered_nnz=touched, tensor_nnz=csf.nnz,
             slab_count=slab_count, bytes_allocated=bytes_allocated,
-            seconds=time.perf_counter() - start)
+            seconds=time.perf_counter() - start,
+            executor=call_executor,
+            workers=effective_threads(self.threads))
         self.call_log.append(stats)
         record_mttkrp_call(stats, rank=int(np.asarray(factors[0]).shape[1]))
         return out

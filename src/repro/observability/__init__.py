@@ -33,6 +33,8 @@ from .hooks import (
     mttkrp_flops_bytes,
     record_admm_report,
     record_cache_event,
+    record_executor_batches,
+    record_executor_fallback,
     record_iteration,
     record_mttkrp_call,
     record_representation,
@@ -150,6 +152,8 @@ __all__ = [
     "remove_hook",
     "record_mttkrp_call",
     "record_cache_event",
+    "record_executor_batches",
+    "record_executor_fallback",
     "record_tiling",
     "record_representation",
     "record_admm_report",

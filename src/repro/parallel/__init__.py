@@ -1,11 +1,30 @@
 """Shared-memory parallel runtime (the OpenMP role in the paper's stack).
 
 Pure scheduling logic lives in :mod:`repro.parallel.schedule` — it is used
-both by the real thread pool and by the simulated machine, so the machine
+both by the real executors and by the simulated machine, so the machine
 model schedules exactly the work distribution the real runtime would.
+
+Execution backends live in :mod:`repro.parallel.executor` (``serial`` /
+``thread`` / ``process``, selected via ``REPRO_EXECUTOR``); the process
+backend is built on :mod:`repro.parallel.shm` (shared-memory array
+plane), :mod:`repro.parallel.procpool` (persistent crash-tolerant worker
+pool), and :mod:`repro.parallel.shm_worker` (slab task execution).
 """
 
+from .executor import (
+    DEFAULT_EXECUTOR,
+    EXECUTOR_ENV_VAR,
+    EXECUTOR_NAMES,
+    ExecutorBase,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_executor,
+    shutdown_executors,
+)
 from .partition import row_blocks, balanced_chunks, block_of_row
+from .procpool import ProcessPool, ProcessPoolBroken, WorkerTaskError
 from .schedule import (
     StaticSchedule,
     DynamicSchedule,
@@ -13,6 +32,7 @@ from .schedule import (
     ScheduleOutcome,
     run_schedule,
 )
+from .shm import ShmArena, ShmArrayHandle, active_segment_names
 from .threadpool import parallel_for, effective_threads
 
 __all__ = [
@@ -26,4 +46,20 @@ __all__ = [
     "run_schedule",
     "parallel_for",
     "effective_threads",
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_ENV_VAR",
+    "EXECUTOR_NAMES",
+    "ExecutorBase",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ProcessPool",
+    "ProcessPoolBroken",
+    "WorkerTaskError",
+    "ShmArena",
+    "ShmArrayHandle",
+    "active_segment_names",
+    "get_executor",
+    "resolve_executor",
+    "shutdown_executors",
 ]

@@ -1,0 +1,214 @@
+"""Execution backends behind the ``parallel_for`` / ``threads`` interface.
+
+Three executors, selected with ``REPRO_EXECUTOR`` (or the ``executor=``
+knob on :class:`~repro.kernels.dispatch.MTTKRPEngine` /
+:class:`~repro.core.options.AOADMMOptions` / ``repro.fit``):
+
+``serial``
+    Inline loops, no pool of any kind.  The baseline every other
+    executor must match bit-for-bit.
+``thread``
+    The historical :class:`ThreadPoolExecutor` path.  Helps when the
+    work releases the GIL (large BLAS calls); does **not** help the
+    slab MTTKRP kernels, whose many small NumPy ops re-take the GIL
+    between calls (see ``BENCH_mttkrp_tiled.json`` and
+    :mod:`repro.parallel.threadpool`).
+``process``
+    The GIL-free path: a persistent :class:`~repro.parallel.procpool.
+    ProcessPool` executing nnz-balanced slab batches against
+    shared-memory tensors (:mod:`repro.parallel.shm`).  Closure-based
+    ``parallel_for`` calls cannot cross a process boundary, so for
+    those this executor degrades to the thread pool; the MTTKRP kernels
+    instead detect ``offloads_slabs`` and submit picklable slab-task
+    descriptors (:mod:`repro.parallel.shm_worker`).
+
+Executors resolved by *name* are process-wide singletons, so one warm
+worker pool serves every engine in the process; pass an instance for an
+isolated pool (the fault-injection tests do).  Results are bit-identical
+across all three executors and every worker count — that contract is
+enforced by the differential harness's family anchors.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..validation import require
+from .procpool import ProcessPool, ProcessPoolBroken
+from .threadpool import effective_threads, parallel_for as _thread_for
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable naming the default executor.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Executor used when neither knob nor environment chooses one.
+DEFAULT_EXECUTOR = "thread"
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class ExecutorBase:
+    """Common interface: a named ``parallel_for`` implementation."""
+
+    name: str = "?"
+    #: True when the executor can run pickled slab-task batches in
+    #: worker processes (the MTTKRP offload protocol).
+    offloads_slabs: bool = False
+
+    def parallel_for(self, func: Callable[[T], R], items: Sequence[T],
+                     threads: int | None = None) -> list[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SerialExecutor(ExecutorBase):
+    """Inline execution regardless of the requested thread count."""
+
+    name = "serial"
+
+    def parallel_for(self, func, items, threads=None):
+        return [func(item) for item in list(items)]
+
+
+class ThreadExecutor(ExecutorBase):
+    """The GIL-sharing thread pool (see :mod:`repro.parallel.threadpool`)."""
+
+    name = "thread"
+
+    def parallel_for(self, func, items, threads=None):
+        return _thread_for(func, items, threads=threads)
+
+
+class ProcessExecutor(ExecutorBase):
+    """Persistent process pool + shared-memory slab offload.
+
+    The pool is spawned lazily on first use and kept warm for the
+    executor's lifetime — fork/spawn cost never recurs on the MTTKRP
+    hot path.  ``parallel_for`` (closures) falls back to the thread
+    pool; the kernels use :meth:`submit_slab_batches`.
+    """
+
+    name = "process"
+    offloads_slabs = True
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None,
+                 respawn_budget: int | None = None,
+                 fault_plan: object | None = None) -> None:
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._respawn_budget = respawn_budget
+        self.fault_plan = fault_plan
+        self._pool: ProcessPool | None = None
+        self._lock = threading.Lock()
+
+    def pool(self, workers: int | None = None) -> ProcessPool:
+        """The warm pool, grown to at least *workers* processes."""
+        want = workers or self._max_workers or effective_threads(None)
+        with self._lock:
+            if self._pool is None or self._pool.closed:
+                kwargs = {}
+                if self._respawn_budget is not None:
+                    kwargs["respawn_budget"] = self._respawn_budget
+                self._pool = ProcessPool(want,
+                                         start_method=self._start_method,
+                                         fault_plan=self.fault_plan,
+                                         **kwargs)
+            else:
+                self._pool.ensure_workers(want)
+            self._pool.fault_plan = self.fault_plan
+            return self._pool
+
+    @property
+    def spawned(self) -> bool:
+        return self._pool is not None and not self._pool.closed
+
+    def submit_slab_batches(self, fn_name: str, payloads: list[object],
+                            workers: int | None = None) -> list[dict]:
+        """Run the batch payloads on the pool; per-batch stats back."""
+        return self.pool(workers or len(payloads)).submit_batch(
+            fn_name, payloads)
+
+    def parallel_for(self, func, items, threads=None):
+        # Arbitrary closures cannot cross the process boundary; keep
+        # the call semantics and degrade to the thread pool.
+        return _thread_for(func, items, threads=threads)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+
+_SINGLETONS: dict[str, ExecutorBase] = {}
+_SINGLETON_LOCK = threading.Lock()
+
+
+def get_executor(name: str) -> ExecutorBase:
+    """The process-wide singleton executor called *name*."""
+    require(name in EXECUTOR_NAMES,
+            f"unknown executor {name!r}; choose from {EXECUTOR_NAMES} "
+            f"(or set {EXECUTOR_ENV_VAR})")
+    with _SINGLETON_LOCK:
+        ex = _SINGLETONS.get(name)
+        if ex is None:
+            ex = {"serial": SerialExecutor,
+                  "thread": ThreadExecutor,
+                  "process": ProcessExecutor}[name]()
+            _SINGLETONS[name] = ex
+        return ex
+
+
+def resolve_executor(spec: "str | ExecutorBase | None" = None
+                     ) -> ExecutorBase:
+    """Resolve *spec*: instance → itself; name → singleton; ``None`` →
+    ``REPRO_EXECUTOR`` or the ``thread`` default."""
+    if isinstance(spec, ExecutorBase):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV_VAR) or DEFAULT_EXECUTOR
+    require(isinstance(spec, str),
+            f"executor must be a name or ExecutorBase, got {type(spec)}")
+    return get_executor(spec)
+
+
+def parallel_for(func: Callable[[T], R], items: Iterable[T],
+                 threads: int | None = None,
+                 executor: "str | ExecutorBase | None" = None) -> list[R]:
+    """Executor-aware ``parallel_for`` (same contract as the thread one)."""
+    return resolve_executor(executor).parallel_for(func, list(items),
+                                                   threads=threads)
+
+
+def shutdown_executors() -> None:
+    """Close every singleton executor (tests / leak checks)."""
+    with _SINGLETON_LOCK:
+        for ex in _SINGLETONS.values():
+            ex.close()
+        _SINGLETONS.clear()
+
+
+__all__ = [
+    "EXECUTOR_ENV_VAR",
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_NAMES",
+    "ExecutorBase",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ProcessPoolBroken",
+    "get_executor",
+    "resolve_executor",
+    "parallel_for",
+    "shutdown_executors",
+]

@@ -1,0 +1,312 @@
+"""Shared-memory array plane for the process-pool executor.
+
+The process executor ships *no* array data through task pickles: every
+large operand — the per-mode CSF index/value arrays, the factor
+matrices, the output and per-node product buffers — lives in
+:mod:`multiprocessing.shared_memory` segments created by the parent and
+attached read/write by the persistent workers.  A task then pickles as a
+handful of :class:`ShmArrayHandle` records (segment name + offset +
+shape + dtype — a few hundred bytes), which is what makes per-call
+dispatch cheap enough to amortize over a single MTTKRP.
+
+Layout
+------
+:class:`ShmArena` is the owner-side registry.  ``put_group`` packs a
+named family of arrays (one CSF tree's ``fids``/``fptr``/``vals``) into
+**one** segment with 64-byte-aligned offsets; ``allocate`` carves a
+standalone segment for a buffer the parent reads back (MTTKRP outputs,
+per-node product buffers); ``update`` refreshes contents in place when
+shape/dtype still match (the factor matrices, every call) and
+transparently re-segments otherwise.  All segments carry the
+``repro_shm_`` name prefix so leak checks can find strays, and every
+arena is tracked in a module registry torn down at interpreter exit.
+
+Worker side, :func:`attach` maps a handle back to an ndarray view
+through a process-local segment cache.  Pool workers share the parent's
+``resource_tracker`` (the tracker fd travels with fork/spawn), so the
+re-registration Python < 3.13 performs on attach (bpo-38119) is an
+idempotent set-add, and only the creating arena ever unlinks.
+
+Cleanup guarantee: ``close()`` (or arena garbage collection, or the
+``atexit`` sweep) unmaps and unlinks every segment the arena created —
+``tests/test_executor.py`` and the CI executor job assert that no
+``/dev/shm/repro_shm_*`` entry survives the suite.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Name prefix of every segment this module creates (leak-check key).
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Offset alignment inside packed segments (cache-line friendly).
+_ALIGN = 64
+
+_counter = itertools.count()
+_token = secrets.token_hex(4)
+
+
+def _segment_name() -> str:
+    """A unique, recognizable segment name (< 31 chars for POSIX shm)."""
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{_token}_{next(_counter):x}"
+
+
+@dataclass(frozen=True)
+class ShmArrayHandle:
+    """A picklable reference to an ndarray living in a shared segment."""
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    #: ``dtype.str`` (endianness-qualified) so the handle pickles small.
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)
+                   * np.dtype(self.dtype).itemsize)
+
+
+def _view(buf: memoryview, handle: ShmArrayHandle) -> np.ndarray:
+    arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                     buffer=buf, offset=handle.offset)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Owner side
+# ----------------------------------------------------------------------
+
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+class ShmArena:
+    """Owner-side registry of shared segments and the arrays inside them.
+
+    One arena per :class:`~repro.kernels.dispatch.MTTKRPEngine`; closing
+    the arena releases every segment it created.  Thread-safe: the
+    engine may be driven from worker threads (blocked ADMM).
+    """
+
+    def __init__(self, tag: str = "arena") -> None:
+        self.tag = tag
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._handles: dict[object, ShmArrayHandle] = {}
+        self._arrays: dict[object, np.ndarray] = {}
+        self._lock = threading.RLock()
+        self.closed = False
+        #: Bytes of shared memory this arena has ever mapped.
+        self.bytes_mapped = 0
+        _LIVE_ARENAS.add(self)
+        self._finalizer = weakref.finalize(self, _finalize_segments,
+                                           self._segments)
+
+    # -- creation ------------------------------------------------------
+    def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(int(nbytes), 1), name=_segment_name())
+        self._segments[seg.name] = seg
+        self.bytes_mapped += seg.size
+        return seg
+
+    def put_group(self, key: object,
+                  arrays: dict[str, np.ndarray]) -> dict[str, ShmArrayHandle]:
+        """Pack *arrays* into one segment; returns per-name handles.
+
+        Contents are copied once (the CSF pattern is static for the
+        whole factorization).  Calling again with the same *key* returns
+        the cached handles without re-copying.
+        """
+        with self._lock:
+            self._check_open()
+            cached = self._handles.get(("group", key))
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            prepared = {name: np.ascontiguousarray(arr)
+                        for name, arr in arrays.items()}
+            total = 0
+            for arr in prepared.values():
+                total = -(-total // _ALIGN) * _ALIGN + arr.nbytes
+            seg = self._new_segment(total)
+            handles: dict[str, ShmArrayHandle] = {}
+            offset = 0
+            for name, arr in prepared.items():
+                offset = -(-offset // _ALIGN) * _ALIGN
+                handle = ShmArrayHandle(seg.name, offset,
+                                        tuple(arr.shape), arr.dtype.str)
+                view = _view(seg.buf, handle)
+                view[...] = arr
+                handles[name] = handle
+                self._arrays[("group", key, name)] = view
+                offset += arr.nbytes
+            self._handles[("group", key)] = handles  # type: ignore[assignment]
+            return handles
+
+    def allocate(self, key: object, shape: tuple[int, ...],
+                 dtype: np.dtype) -> np.ndarray:
+        """A shared buffer the parent reads back (own segment per key).
+
+        Reuses the existing segment while shape/dtype match; otherwise
+        the old segment is unlinked and a fresh one mapped (so stale
+        worker-side attachments can never alias a resized buffer).
+        """
+        dtype = np.dtype(dtype)
+        with self._lock:
+            self._check_open()
+            handle = self._handles.get(key)
+            if handle is not None and handle.shape == tuple(shape) \
+                    and handle.dtype == dtype.str:
+                return self._arrays[key]
+            if handle is not None:
+                self._drop_segment(handle.segment)
+            nbytes = int(np.prod(shape, dtype=np.int64) * dtype.itemsize)
+            seg = self._new_segment(nbytes)
+            handle = ShmArrayHandle(seg.name, 0, tuple(shape), dtype.str)
+            self._handles[key] = handle
+            self._arrays[key] = _view(seg.buf, handle)
+            return self._arrays[key]
+
+    def update(self, key: object, array: np.ndarray) -> ShmArrayHandle:
+        """Copy *array* into the shared buffer for *key* (realloc on resize)."""
+        array = np.asarray(array)
+        buf = self.allocate(key, tuple(array.shape), array.dtype)
+        np.copyto(buf, array)
+        return self._handles[key]
+
+    # -- lookup --------------------------------------------------------
+    def handle(self, key: object) -> ShmArrayHandle:
+        """The handle registered under *key* (allocate/update keys only)."""
+        return self._handles[key]
+
+    def array(self, key: object) -> np.ndarray:
+        """The parent-side view registered under *key*."""
+        return self._arrays[key]
+
+    def has(self, key: object) -> bool:
+        return key in self._handles or ("group", key) in self._handles
+
+    # -- teardown ------------------------------------------------------
+    def _drop_segment(self, name: str) -> None:
+        seg = self._segments.pop(name, None)
+        if seg is None:
+            return
+        stale = [k for k, h in self._handles.items()
+                 if isinstance(h, ShmArrayHandle) and h.segment == name]
+        for k in stale:
+            self._handles.pop(k, None)
+            self._arrays.pop(k, None)
+        _release_segment(seg)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"ShmArena({self.tag!r}) is closed")
+
+    def close(self) -> None:
+        """Unmap and unlink every segment this arena created (idempotent)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            self._arrays.clear()
+            self._handles.clear()
+            segments, self._segments = dict(self._segments), {}
+            self._finalizer.detach()
+        for seg in segments.values():
+            _release_segment(seg)
+
+    def segment_names(self) -> list[str]:
+        """Names of the live segments (leak-check support)."""
+        with self._lock:
+            return sorted(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _release_segment(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except OSError:  # pragma: no cover - already unmapped
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def _finalize_segments(segments: dict[str, shared_memory.SharedMemory]
+                       ) -> None:
+    """GC/exit fallback when an arena was never explicitly closed."""
+    for seg in list(segments.values()):
+        _release_segment(seg)
+    segments.clear()
+
+
+def active_segment_names() -> list[str]:
+    """Every segment name still held by a live arena (leak check)."""
+    names: list[str] = []
+    for arena in list(_LIVE_ARENAS):
+        if not arena.closed:
+            names.extend(arena.segment_names())
+    return sorted(names)
+
+
+@atexit.register
+def _atexit_sweep() -> None:  # pragma: no cover - interpreter teardown
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Process-local attachment cache: segment name -> SharedMemory.  Kept
+#: for the worker's whole life — segments are named uniquely, so a
+#: reallocated buffer always arrives under a fresh name.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        # Python < 3.13 re-registers the segment with the resource
+        # tracker on attach (bpo-38119).  Pool workers share the
+        # *parent's* tracker (the fd travels with fork/spawn), so the
+        # duplicate registration is an idempotent set-add — harmless.
+        # Unregistering here would instead erase the parent's entry and
+        # make the owning arena's ``unlink`` trip the tracker.
+        seg = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = seg
+    return seg
+
+
+def attach(handle: ShmArrayHandle) -> np.ndarray:
+    """Worker-side ndarray view for *handle* (cached per segment)."""
+    return _view(_attach_segment(handle.segment).buf, handle)
+
+
+def detach_all() -> None:
+    """Drop the worker-side attachment cache (tests / worker shutdown)."""
+    for seg in _ATTACHED.values():
+        try:
+            seg.close()
+        except OSError:  # pragma: no cover - already unmapped
+            pass
+    _ATTACHED.clear()

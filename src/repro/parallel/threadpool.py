@@ -1,46 +1,75 @@
 """A minimal thread-pool ``parallel_for``.
 
-NumPy releases the GIL inside its kernels, so independent row-block work
-(blocked ADMM) genuinely overlaps on multicore hosts.  On this project's
-reference container (1 core) the pool still exercises the same code paths;
-the scalability *measurements* come from the machine model instead
-(:mod:`repro.machine`), which replays the identical work decomposition.
+When threads help — and when they don't
+---------------------------------------
+CPython threads share the GIL, so a thread pool only overlaps work that
+*releases* it.  NumPy releases the GIL inside individual kernels, which
+is enough for coarse-grained work dominated by large BLAS calls (the
+blocked-ADMM row blocks: one big Cholesky/GEMM per block).  It is **not**
+enough for the slab MTTKRP kernels: each slab is a chain of many small
+``take`` / ``multiply`` / ``reduceat`` calls, and the interpreter
+re-acquires the GIL between every one of them, so threads serialize on
+dispatch and add contention on top.  ``BENCH_mttkrp_tiled.json`` measures
+exactly that — the 139-slab sweep runs 94.7 ms on 1 thread and 133.6 ms
+on 4.  For genuinely parallel slab execution use the process executor
+(``REPRO_EXECUTOR=process``; see :mod:`repro.parallel.executor` and
+``docs/parallelism.md``), which sidesteps the GIL with a shared-memory
+worker pool and stays bit-identical to this path.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _ENV_VAR = "REPRO_NUM_THREADS"
 
+#: Malformed ``REPRO_NUM_THREADS`` values already warned about (warn
+#: once per value, not once per call).
+_WARNED_ENV_VALUES: set[str] = set()
+
 
 def effective_threads(requested: int | None = None) -> int:
-    """Resolve a thread count: argument, env var, then CPU count."""
+    """Resolve a thread count: argument, env var, then CPU count.
+
+    A malformed ``REPRO_NUM_THREADS`` (non-integer, or < 1) used to be
+    silently ignored; it now emits a ``RuntimeWarning`` once per value
+    before falling through to the CPU count.
+    """
     if requested is not None and requested > 0:
         return int(requested)
     env = os.environ.get(_ENV_VAR)
     if env:
         try:
             value = int(env)
-            if value > 0:
-                return value
         except ValueError:
-            pass
+            value = None
+        if value is not None and value > 0:
+            return value
+        if env not in _WARNED_ENV_VALUES:
+            _WARNED_ENV_VALUES.add(env)
+            warnings.warn(
+                f"ignoring malformed {_ENV_VAR}={env!r} (expected a "
+                f"positive integer); falling back to the CPU count",
+                RuntimeWarning, stacklevel=2)
     return os.cpu_count() or 1
 
 
-def parallel_for(func: Callable[[T], R], items: Sequence[T],
+def parallel_for(func: Callable[[T], R], items: Iterable[T],
                  threads: int | None = None) -> list[R]:
     """Apply *func* to every item, possibly across a thread pool.
 
-    Results are returned in input order.  With one thread (or one item)
-    the loop runs inline — no executor overhead, identical semantics.
+    *items* may be any iterable (generators included — it is normalized
+    with one ``list()`` up front).  Results are returned in input order.
+    With one thread (or at most one item) the loop runs inline — no
+    executor overhead, identical semantics.
     """
+    items = list(items)
     threads = effective_threads(threads)
     if threads == 1 or len(items) <= 1:
         return [func(item) for item in items]

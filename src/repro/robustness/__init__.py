@@ -26,7 +26,13 @@ from .checkpoint import (
     save_checkpoint,
     verify_checkpoint,
 )
-from .faults import FaultInjector, FaultSpec, WorkerFault, WorkerFaultPlan
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    WorkerFault,
+    WorkerFaultPlan,
+    WorkerKillPlan,
+)
 
 __all__ = [
     "GUARD_POLICIES",
@@ -41,4 +47,5 @@ __all__ = [
     "FaultSpec",
     "WorkerFault",
     "WorkerFaultPlan",
+    "WorkerKillPlan",
 ]

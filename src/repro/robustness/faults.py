@@ -18,6 +18,13 @@ Distributed driver
     Pass a :class:`WorkerFaultPlan` to ``fit_aoadmm_distributed``; the
     plan raises :class:`~repro.distributed.comm.WorkerFailure` inside a
     rank's local MTTKRP, exercising the retry and re-partition fallback.
+
+Process executor
+    Attach a :class:`WorkerKillPlan` as the
+    :class:`~repro.parallel.executor.ProcessExecutor`'s ``fault_plan``;
+    the pool calls it back before every batch dispatch and the plan
+    ``SIGKILL``\\ s real worker processes — exercising the respawn/
+    resubmit path and (relentlessly) the thread-executor fallback.
 """
 
 from __future__ import annotations
@@ -178,3 +185,50 @@ class WorkerFaultPlan:
             raise WorkerFailure(rank=rank, kind=f.kind,
                                 detail=f"scheduled at iteration "
                                        f"{f.iteration}")
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker kills (executor fault injection)
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerKillPlan:
+    """``SIGKILL`` pool workers at dispatch time (real process deaths).
+
+    The :class:`~repro.parallel.procpool.ProcessPool` invokes
+    ``on_dispatch(pool)`` before every batch dispatch *and* after every
+    respawn round.  With ``relentless=False`` (default) the plan kills
+    ``kills`` workers exactly once, at the ``at_dispatch``-th dispatch —
+    the pool must respawn, resubmit the lost tasks, and return a correct
+    (bit-identical) result.  With ``relentless=True`` it kills at every
+    opportunity from ``at_dispatch`` on, which exhausts the respawn
+    budget and forces :class:`~repro.parallel.procpool.ProcessPoolBroken`
+    — the engine's thread-executor fallback path.
+    """
+
+    #: 1-based dispatch count at which killing starts.
+    at_dispatch: int = 1
+    #: Workers killed per firing.
+    kills: int = 1
+    #: Keep killing at every dispatch (to exhaust the respawn budget).
+    relentless: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.at_dispatch >= 1, "at_dispatch is 1-based")
+        require(self.kills >= 1, "kills must be positive")
+        self._dispatches = 0
+        self._fired = False
+        #: Pids actually killed, in order (the audit log).
+        self.killed_pids: list[int] = []
+
+    def on_dispatch(self, pool) -> None:
+        self._dispatches += 1
+        if self._dispatches < self.at_dispatch:
+            return
+        if self._fired and not self.relentless:
+            return
+        self._fired = True
+        # Distinct indices: killing index 0 repeatedly would re-target
+        # the same (already reaped) worker and leave the rest alive.
+        for i in range(min(self.kills, pool.size)):
+            self.killed_pids.append(pool.kill_worker(i))

@@ -161,6 +161,24 @@ class CSFTensor:
         """Number of children of every node at *level* (< leaves)."""
         return np.diff(self.fptr[level])
 
+    def buffers(self) -> dict[str, np.ndarray]:
+        """Stable, named export of every level array.
+
+        The contract backing shared-memory registration
+        (:mod:`repro.parallel.shm`): keys are ``fids{l}`` for every
+        level, ``fptr{l}`` for levels ``0..N-2``, and ``vals``; the
+        returned arrays are the tensor's own (zero-copy), in the exact
+        layout a worker needs to rebuild slab views byte-for-byte.  The
+        tensor is immutable after construction, so the export never goes
+        stale.
+        """
+        out: dict[str, np.ndarray] = {"vals": self.vals}
+        for level, arr in enumerate(self.fids):
+            out[f"fids{level}"] = arr
+        for level, arr in enumerate(self.fptr):
+            out[f"fptr{level}"] = arr
+        return out
+
     def storage_bytes(self) -> int:
         """Bytes used by the index and value arrays (for the cost model)."""
         total = self.vals.nbytes

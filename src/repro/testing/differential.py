@@ -182,11 +182,13 @@ class BackendSpec:
 
 def _engine_backend(tensor: COOTensor, *, repr_policy: str,
                     threads: int | None,
-                    slab_nnz_target: int | None) -> Callable:
+                    slab_nnz_target: int | None,
+                    executor: str | None = None) -> Callable:
     engine = MTTKRPEngine(tensor, repr_policy=repr_policy,
                           sparsity_threshold=2.0 if repr_policy != "dense"
                           else 0.2,
-                          threads=threads, slab_nnz_target=slab_nnz_target)
+                          threads=threads, slab_nnz_target=slab_nnz_target,
+                          executor=executor)
     engine.trees.build_all()
     primed: set[int] = set()
 
@@ -224,8 +226,17 @@ def _distributed_backend(tensor: COOTensor, ranks: int) -> Callable:
 def mttkrp_backend_specs(threads: Sequence[int] = (1, 2, 4),
                          slab_targets: Sequence[int] = (32, 100_000),
                          distributed_ranks: Sequence[int] = (3,),
-                         sparse_factors: bool = True) -> list[BackendSpec]:
-    """The default sweep grid over every MTTKRP execution path."""
+                         sparse_factors: bool = True,
+                         executors: Sequence[str] = ()) -> list[BackendSpec]:
+    """The default sweep grid over every MTTKRP execution path.
+
+    The tiled backends resolve their executor from the environment
+    (``REPRO_EXECUTOR``) — running the whole sweep under
+    ``REPRO_EXECUTOR=process`` pushes every tiled comparison through the
+    shared-memory pool.  *executors* additionally pins named executors
+    as explicit grid points, holding e.g. ``serial`` and ``process`` to
+    the same **bitwise** family anchor within one run.
+    """
     specs = [
         BackendSpec("coo", "coo",
                     lambda t: lambda f, m: mttkrp_coo(t, f, m)),
@@ -241,6 +252,14 @@ def mttkrp_backend_specs(threads: Sequence[int] = (1, 2, 4),
                 lambda tensor, t=t, s=s: _engine_backend(
                     tensor, repr_policy="dense", threads=t,
                     slab_nnz_target=s)))
+    small_slab = min(slab_targets) if slab_targets else 32
+    for x in executors:
+        for t in (1, max(threads) if threads else 4):
+            specs.append(BackendSpec(
+                f"csf-tiled[x={x},t={t},s={small_slab}]", "csf",
+                lambda tensor, x=x, t=t: _engine_backend(
+                    tensor, repr_policy="dense", threads=t,
+                    slab_nnz_target=small_slab, executor=x)))
     if sparse_factors:
         specs.append(BackendSpec(
             "sparse-csr", "sparse-csr",
@@ -544,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slabs", type=_parse_int_list,
                         default=(32, 100_000),
                         help="comma-separated slab nnz targets")
+    parser.add_argument("--executors", default="",
+                        help="comma-separated executor names to pin as "
+                             "explicit bitwise grid points (e.g. "
+                             "'serial,process')")
     parser.add_argument("--no-admm", action="store_true",
                         help="skip the blocked-vs-unblocked ADMM sweep")
     parser.add_argument("--replay", metavar="SPEC",
@@ -561,8 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    executors = tuple(x for x in args.executors.split(",") if x)
     backends = mttkrp_backend_specs(threads=args.threads,
-                                    slab_targets=args.slabs)
+                                    slab_targets=args.slabs,
+                                    executors=executors)
     if args.replay:
         case = case_from_spec(args.replay)
         if args.backend:

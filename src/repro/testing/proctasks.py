@@ -1,0 +1,49 @@
+"""Picklable task functions for process-pool tests.
+
+The pool resolves tasks by ``"module:function"`` name inside the worker
+(:func:`repro.parallel.procpool.resolve_task_fn`), so test tasks must
+live in an importable module — closures defined in a test file cannot
+cross the process boundary.  These helpers exist only for
+``tests/test_executor.py``; production slab batches live in
+:mod:`repro.parallel.shm_worker`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+
+def echo(payload: dict) -> object:
+    """Return ``payload["value"]`` (the no-op baseline task)."""
+    return payload["value"]
+
+
+def die_once(payload: dict) -> object:
+    """SIGKILL the worker on first execution; succeed on resubmission.
+
+    ``payload["marker"]`` is a filesystem path used as the
+    has-this-task-run-before flag: the first worker to execute the task
+    creates it and kills itself mid-batch (a *real* unclean death — no
+    exception propagation, no cleanup), so the pool must detect the
+    sentinel, respawn, and resubmit.  The resubmitted run sees the
+    marker and returns normally.  This is the deterministic stand-in for
+    "a worker crashed while holding tasks".
+    """
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload["value"]
+
+
+def die(payload: dict) -> object:
+    """SIGKILL the worker unconditionally (budget-exhaustion tests)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return None  # pragma: no cover - unreachable
+
+
+def raise_error(payload: dict) -> object:
+    """Raise inside the worker (exercises WorkerTaskError propagation)."""
+    raise RuntimeError(payload.get("message", "scheduled task failure"))
