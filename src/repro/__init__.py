@@ -59,16 +59,28 @@ from .core import (
 from .core.options import LEGACY_KWARGS, options_from_kwargs
 from .observability import Observability, configure, get_observability
 from .robustness import (
+    Backoff,
     Checkpoint,
+    CheckpointStore,
+    Deadline,
     FaultInjector,
     FaultSpec,
+    FitStalled,
+    FitSupervisor,
     GuardEvent,
     HealthMonitor,
     NumericalFaultError,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    SupervisorOptions,
+    SupervisorReport,
+    Watchdog,
     WorkerFault,
     WorkerFaultPlan,
     load_checkpoint,
+    resolve_resume,
     save_checkpoint,
+    supervise_fit,
     verify_checkpoint,
 )
 from .tensor import (
@@ -116,16 +128,28 @@ __all__ = [
     "save_model",
     "load_model",
     "penalized_objective",
+    "Backoff",
     "Checkpoint",
+    "CheckpointStore",
+    "Deadline",
     "FaultInjector",
     "FaultSpec",
+    "FitStalled",
+    "FitSupervisor",
     "GuardEvent",
     "HealthMonitor",
     "NumericalFaultError",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "SupervisorOptions",
+    "SupervisorReport",
+    "Watchdog",
     "WorkerFault",
     "WorkerFaultPlan",
     "load_checkpoint",
+    "resolve_resume",
     "save_checkpoint",
+    "supervise_fit",
     "verify_checkpoint",
     "COOTensor",
     "CSFTensor",

@@ -62,8 +62,15 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         guard_policy=args.guard_policy,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
+        checkpoint_keep_last=args.keep_last,
     )
-    result = fit_aoadmm(tensor, options, resume_from=args.resume)
+    report = None
+    if args.supervise:
+        from .robustness.supervisor import FitSupervisor
+        result, report = FitSupervisor(
+            tensor, options, resume_from=args.resume).run()
+    else:
+        result = fit_aoadmm(tensor, options, resume_from=args.resume)
     for record in result.trace.records:
         if args.verbose or record.iteration == len(result.trace):
             print(f"iter {record.iteration:4d}  "
@@ -74,6 +81,15 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
     print(f"stopped: {result.stop_reason}; relative error "
           f"{result.relative_error:.6f}; "
           f"total {result.trace.total_seconds():.1f}s")
+    if report is not None and (report.recovered or report.preempted
+                               or report.stalls):
+        print(f"supervisor: {report.attempts} attempt(s), "
+              f"{report.stalls} stall(s), "
+              f"degradations: {report.degradations or 'none'}")
+    if result.stop_reason == "preempted":
+        print("preempted; resume with --resume "
+              f"{result.options.checkpoint_path}")
+        return 3
     if args.output:
         saved = {f"mode{m}": f
                  for m, f in enumerate(result.model.factors)}
@@ -151,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH",
                    help="resume bit-identically from a checkpoint "
                         "written by a previous run")
+    p.add_argument("--keep-last", type=int, metavar="N",
+                   help="retain the newest N versioned checkpoints "
+                        "(requires --checkpoint)")
+    p.add_argument("--supervise", action="store_true",
+                   help="run under the resilient fit supervisor: stall "
+                        "watchdog, retry with backoff from checkpoints, "
+                        "executor degradation ladder, graceful "
+                        "SIGTERM/SIGINT preemption (exit code 3 when "
+                        "preempted)")
     p.set_defaults(func=_cmd_factorize)
 
     p = sub.add_parser("generate", help="write a synthetic corpus")

@@ -37,7 +37,8 @@ from ..linalg.grams import GramCache
 from ..observability import StageClock, record_admm_report, record_iteration, span
 from ..robustness.checkpoint import (
     Checkpoint,
-    load_checkpoint,
+    CheckpointStore,
+    resolve_resume,
     save_checkpoint,
     verify_checkpoint,
 )
@@ -70,7 +71,10 @@ class FactorizationResult:
     #: * ``"rollback"`` — a numerical guard fired under the ``rollback``
     #:   policy and the best iterate was restored;
     #: * ``"diverged"`` — the divergence guard fired (non-``raise``
-    #:   policy) and the best iterate was restored.
+    #:   policy) and the best iterate was restored;
+    #: * ``"preempted"`` — ``options.preempt_flag`` was set (e.g. by a
+    #:   SIGTERM handler); a final checkpoint was written when
+    #:   checkpointing is configured, so the run resumes bit-identically.
     stop_reason: str
     options: AOADMMOptions
 
@@ -154,8 +158,7 @@ def fit_aoadmm(tensor: COOTensor,
     if resume_from is not None:
         require(initial_factors is None,
                 "resume_from and initial_factors are mutually exclusive")
-        checkpoint = (resume_from if isinstance(resume_from, Checkpoint)
-                      else load_checkpoint(resume_from))
+        checkpoint = resolve_resume(resume_from)
         verify_checkpoint(checkpoint, tensor, options)
 
     if checkpoint is not None:
@@ -207,6 +210,24 @@ def fit_aoadmm(tensor: COOTensor,
                        len(trace))
     injector = options.fault_injector
 
+    store: CheckpointStore | None = None
+    if options.checkpoint_keep_last is not None:
+        store = CheckpointStore(options.checkpoint_path,
+                                keep_last=options.checkpoint_keep_last)
+
+    def write_checkpoint(iteration: int) -> None:
+        if injector is not None:
+            injector.check_checkpoint_write(iteration)
+        if store is not None:
+            written = store.save(tensor, options, states, trace,
+                                 rhos=last_rhos)
+        else:
+            written = save_checkpoint(options.checkpoint_path, tensor,
+                                      options, states, trace,
+                                      rhos=last_rhos)
+        if injector is not None:
+            injector.corrupt_checkpoint(written, iteration)
+
     nmodes = tensor.nmodes
     converged = False
     stop_reason = ""
@@ -234,6 +255,12 @@ def fit_aoadmm(tensor: COOTensor,
     clock = StageClock(scope="aoadmm")
     while not stop_reason:
         iteration = len(trace) + 1
+        if injector is not None:
+            # Environment faults (stall / shm_oom) fire here, before any
+            # kernel work, so the supervisor's watchdog and retry paths
+            # see them exactly as a wedged pool or mmap failure would
+            # present.
+            injector.pre_iteration(iteration)
         clock.reset()
         inner_iterations: list[int] = []
         block_reports: list[object] = []
@@ -330,10 +357,11 @@ def fit_aoadmm(tensor: COOTensor,
         record_iteration(record, scope="aoadmm")
         if monitor is not None:
             monitor.commit(states, relative_error, iteration)
+        checkpointed = False
         if options.checkpoint_every is not None \
                 and iteration % options.checkpoint_every == 0:
-            save_checkpoint(options.checkpoint_path, tensor, options,
-                            states, trace, rhos=last_rhos)
+            write_checkpoint(iteration)
+            checkpointed = True
 
         stop_reason = ""
         if criterion.update(relative_error):
@@ -344,6 +372,14 @@ def fit_aoadmm(tensor: COOTensor,
         if not stop_reason and options.time_budget_seconds is not None \
                 and trace.total_seconds() >= options.time_budget_seconds:
             stop_reason = "time_budget"
+        if not stop_reason and options.preempt_flag is not None \
+                and options.preempt_flag.is_set():
+            stop_reason = "preempted"
+            # Persist the completed iteration so the preempted run
+            # resumes bit-identically; skip when this iteration's
+            # periodic checkpoint already captured exactly this state.
+            if options.checkpoint_path is not None and not checkpointed:
+                write_checkpoint(iteration)
         if stop_reason:
             converged = stop_reason == "tolerance"
             break

@@ -82,6 +82,17 @@ class AOADMMOptions:
     checkpoint_path:
         ``.npz`` destination for checkpoints (overwritten atomically on
         each write; see :mod:`repro.robustness.checkpoint`).
+    checkpoint_keep_last:
+        Retain this many versioned checkpoint files
+        (``{stem}.itNNNNNNNN.npz`` siblings of ``checkpoint_path``),
+        pruning older versions only after the newest has been fsynced.
+        ``None`` keeps the legacy single-file overwrite behaviour.
+    preempt_flag:
+        A ``threading.Event``-like object (anything with ``is_set()``)
+        polled between outer iterations.  When set, the driver writes a
+        final checkpoint (if checkpointing is configured) and returns
+        with ``stop_reason="preempted"`` — the graceful-preemption hook
+        the supervisor's SIGTERM/SIGINT handlers use.
     fault_injector:
         A :class:`repro.robustness.faults.FaultInjector` for testing the
         guards; ``None`` (the default) in production runs.
@@ -116,6 +127,8 @@ class AOADMMOptions:
     divergence_patience: int = 3
     checkpoint_every: int | None = None
     checkpoint_path: object = None
+    checkpoint_keep_last: int | None = None
+    preempt_flag: object = None
     fault_injector: object = None
 
     def __post_init__(self) -> None:
@@ -146,6 +159,14 @@ class AOADMMOptions:
                     "checkpoint_every must be positive")
             require(self.checkpoint_path is not None,
                     "checkpoint_every requires checkpoint_path")
+        if self.checkpoint_keep_last is not None:
+            require(self.checkpoint_keep_last >= 1,
+                    "checkpoint_keep_last must be at least 1")
+            require(self.checkpoint_path is not None,
+                    "checkpoint_keep_last requires checkpoint_path")
+        if self.preempt_flag is not None:
+            require(callable(getattr(self.preempt_flag, "is_set", None)),
+                    "preempt_flag must expose is_set() (Event-like)")
 
     def resolve_constraints(self, nmodes: int) -> list[Constraint]:
         """Materialize one constraint instance per mode."""

@@ -84,12 +84,16 @@ def array_fingerprint(*arrays: np.ndarray) -> str:
 
 
 def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
-                   meta: dict) -> Path:
+                   meta: dict, fsync: bool = False) -> Path:
     """Atomically write *arrays* plus a JSON *meta* blob to ``path``.
 
     The write goes through a temporary file in the destination directory
     followed by ``os.replace``, so a crash mid-checkpoint can never leave
-    a truncated file where a good previous checkpoint used to be.
+    a truncated file where a good previous checkpoint used to be.  With
+    ``fsync=True`` the temporary file (and, best-effort, the directory
+    entry) are flushed to stable storage before the rename — the
+    checkpoint retention layer prunes older versions only after this
+    barrier, so a power loss can never leave *zero* durable checkpoints.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -102,7 +106,20 @@ def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, **payload)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        if fsync:
+            try:
+                dir_fd = os.open(path.parent, os.O_RDONLY)
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
     except BaseException:
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)

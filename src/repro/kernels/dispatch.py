@@ -63,6 +63,29 @@ ReprPolicy = Literal["dense", "csr", "hybrid", "auto"]
 _CSF_METHOD_CACHE: dict[tuple[int, int],
                         tuple[np.ndarray, np.ndarray, CSFTensor]] = {}
 _CSF_METHOD_CACHE_MAX = 8
+_MEMOIZATION_ENABLED = True
+
+
+def configure_memoization(enabled: bool) -> bool:
+    """Globally enable/disable kernel memoization; returns the old setting.
+
+    Disabling also drops the current cache contents.  Memoized trees
+    pin their source arrays, so under memory pressure the supervisor's
+    degradation ladder turns this off to trade recompute time for
+    released memory — results are bit-identical either way (the cache
+    only avoids re-sorting, it never changes values).
+    """
+    global _MEMOIZATION_ENABLED
+    previous = _MEMOIZATION_ENABLED
+    _MEMOIZATION_ENABLED = bool(enabled)
+    if not _MEMOIZATION_ENABLED:
+        _CSF_METHOD_CACHE.clear()
+    return previous
+
+
+def memoization_enabled() -> bool:
+    """Whether kernel memoization is currently on (see above)."""
+    return _MEMOIZATION_ENABLED
 
 
 def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
@@ -74,7 +97,7 @@ def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
     repeated test calls from re-sorting the same tensor on every call.
     """
     key = (id(tensor), mode)
-    hit = _CSF_METHOD_CACHE.get(key)
+    hit = _CSF_METHOD_CACHE.get(key) if _MEMOIZATION_ENABLED else None
     if hit is not None and hit[0] is tensor.coords and hit[1] is tensor.vals:
         # A memoized tree used to make the call's stats vanish entirely;
         # the registry keeps every invocation visible (cache_hit counter).
@@ -84,9 +107,10 @@ def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
     order = None if mode == 0 else (
         (mode,) + tuple(m for m in range(tensor.nmodes) if m != mode))
     tree = CSFTensor.from_coo(tensor, mode_order=order)
-    if len(_CSF_METHOD_CACHE) >= _CSF_METHOD_CACHE_MAX:
-        _CSF_METHOD_CACHE.pop(next(iter(_CSF_METHOD_CACHE)))
-    _CSF_METHOD_CACHE[key] = (tensor.coords, tensor.vals, tree)
+    if _MEMOIZATION_ENABLED:
+        if len(_CSF_METHOD_CACHE) >= _CSF_METHOD_CACHE_MAX:
+            _CSF_METHOD_CACHE.pop(next(iter(_CSF_METHOD_CACHE)))
+        _CSF_METHOD_CACHE[key] = (tensor.coords, tensor.vals, tree)
     return tree
 
 

@@ -145,6 +145,25 @@ def record_executor_fallback(from_executor: str, to_executor: str,
                                 "to": to_executor, "detail": detail})
 
 
+def record_supervisor_event(kind: str, attempt: int,
+                            detail: str = "") -> None:
+    """One recovery action of the fit supervisor.
+
+    ``kind`` is the supervisor's event vocabulary — ``"stall"``,
+    ``"retry"``, ``"degrade"``, ``"resume"``, ``"restart"``,
+    ``"preempted"``, ``"checkpoint_quarantined"`` — so dashboards can
+    tell a run that merely *finished* from one that survived three pool
+    losses and a corrupted checkpoint along the way.
+    """
+    if not is_enabled():
+        return
+    reg = active_registry()
+    reg.counter("supervisor_events", kind=kind).inc()
+    reg.gauge("supervisor_attempt").set(attempt)
+    _emit("supervisor", {"kind": kind, "attempt": attempt,
+                         "detail": detail})
+
+
 def record_cache_event(cache: str, hit: bool) -> None:
     """A memoization lookup (e.g. the ``mttkrp(method="csf")`` tree memo).
 

@@ -32,7 +32,14 @@ from .schedule import (
     ScheduleOutcome,
     run_schedule,
 )
-from .shm import ShmArena, ShmArrayHandle, active_segment_names
+from .shm import (
+    ShmAllocationError,
+    ShmArena,
+    ShmArrayHandle,
+    active_segment_names,
+    stale_segment_names,
+    sweep_stale_segments,
+)
 from .threadpool import parallel_for, effective_threads
 
 __all__ = [
@@ -56,9 +63,12 @@ __all__ = [
     "ProcessPool",
     "ProcessPoolBroken",
     "WorkerTaskError",
+    "ShmAllocationError",
     "ShmArena",
     "ShmArrayHandle",
     "active_segment_names",
+    "stale_segment_names",
+    "sweep_stale_segments",
     "get_executor",
     "resolve_executor",
     "shutdown_executors",

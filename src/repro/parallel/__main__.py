@@ -1,0 +1,54 @@
+"""Maintenance entry point: ``python -m repro.parallel --sweep-shm``.
+
+A SIGKILLed interpreter (OOM killer, worker-kill chaos tests, a batch
+scheduler's hard preemption) never runs its ``ShmArena`` cleanup, so its
+``/dev/shm/repro_shm_*`` segments outlive it and eat shared-memory
+space.  The process executor sweeps automatically on startup; this
+command does the same sweep on demand — e.g. from a cron job or a CI
+leak check — reporting what it removed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+from .shm import stale_segment_names, sweep_stale_segments
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description="Shared-memory runtime maintenance.")
+    parser.add_argument(
+        "--sweep-shm", action="store_true",
+        help="unlink orphaned repro_shm_* segments whose creating "
+             "process is dead")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --sweep-shm: list stale segments without removing "
+             "them")
+    args = parser.parse_args(argv)
+    if not args.sweep_shm:
+        parser.print_help()
+        return 2
+    if args.dry_run:
+        stale = stale_segment_names()
+        for name in stale:
+            print(name)
+        print(f"{len(stale)} stale segment(s) (not removed: --dry-run)")
+        return 0
+    with warnings.catch_warnings():
+        # The warn-once is for silent library-internal sweeps; here the
+        # removal list *is* the requested output.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        removed = sweep_stale_segments()
+    for name in removed:
+        print(name)
+    print(f"removed {len(removed)} stale segment(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..validation import require
 from .procpool import ProcessPool, ProcessPoolBroken
+from .shm import sweep_stale_segments
 from .threadpool import effective_threads, parallel_for as _thread_for
 
 T = TypeVar("T")
@@ -116,6 +118,11 @@ class ProcessExecutor(ExecutorBase):
         want = workers or self._max_workers or effective_threads(None)
         with self._lock:
             if self._pool is None or self._pool.closed:
+                # Housekeeping before mapping new segments: reclaim
+                # /dev/shm space leaked by killed interpreters, so a
+                # previous crash cannot starve this pool of shared
+                # memory (warns once per sweep when it finds any).
+                sweep_stale_segments()
                 kwargs = {}
                 if self._respawn_budget is not None:
                     kwargs["respawn_budget"] = self._respawn_budget
@@ -169,14 +176,36 @@ def get_executor(name: str) -> ExecutorBase:
         return ex
 
 
+#: Malformed ``REPRO_EXECUTOR`` values already warned about (warn once
+#: per value per process — the hot path resolves executors constantly).
+_WARNED_ENV_VALUES: set[str] = set()
+
+
 def resolve_executor(spec: "str | ExecutorBase | None" = None
                      ) -> ExecutorBase:
     """Resolve *spec*: instance → itself; name → singleton; ``None`` →
-    ``REPRO_EXECUTOR`` or the ``thread`` default."""
+    ``REPRO_EXECUTOR`` or the ``thread`` default.
+
+    A malformed *explicit* name raises; a malformed **environment**
+    value only warns (once per value) and falls back to the default —
+    a typo in a shell profile must not turn every library call into a
+    crash (mirrors the ``REPRO_NUM_THREADS`` handling in
+    :mod:`repro.parallel.threadpool`).
+    """
     if isinstance(spec, ExecutorBase):
         return spec
     if spec is None:
-        spec = os.environ.get(EXECUTOR_ENV_VAR) or DEFAULT_EXECUTOR
+        env_value = os.environ.get(EXECUTOR_ENV_VAR)
+        if env_value and env_value not in EXECUTOR_NAMES:
+            if env_value not in _WARNED_ENV_VALUES:
+                _WARNED_ENV_VALUES.add(env_value)
+                warnings.warn(
+                    f"ignoring malformed {EXECUTOR_ENV_VAR}={env_value!r} "
+                    f"(choose from {EXECUTOR_NAMES}); using "
+                    f"{DEFAULT_EXECUTOR!r}",
+                    RuntimeWarning, stacklevel=2)
+            env_value = None
+        spec = env_value or DEFAULT_EXECUTOR
     require(isinstance(spec, str),
             f"executor must be a name or ExecutorBase, got {type(spec)}")
     return get_executor(spec)

@@ -38,11 +38,14 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import re as re_module
 import secrets
 import threading
+import warnings
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -54,6 +57,17 @@ _ALIGN = 64
 
 _counter = itertools.count()
 _token = secrets.token_hex(4)
+
+
+class ShmAllocationError(MemoryError):
+    """Creating a shared-memory segment failed (``/dev/shm`` pressure).
+
+    Raised by :meth:`ShmArena._new_segment` with the original ``OSError``
+    / ``MemoryError`` chained.  Subclasses :class:`MemoryError` so the
+    supervisor's retry policy classifies it as transient memory pressure
+    and steps the degradation ladder (smaller slabs, in-process
+    executor) instead of aborting the fit.
+    """
 
 
 def _segment_name() -> str:
@@ -113,8 +127,13 @@ class ShmArena:
 
     # -- creation ------------------------------------------------------
     def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
-        seg = shared_memory.SharedMemory(
-            create=True, size=max(int(nbytes), 1), name=_segment_name())
+        try:
+            seg = shared_memory.SharedMemory(
+                create=True, size=max(int(nbytes), 1), name=_segment_name())
+        except (OSError, MemoryError) as exc:
+            raise ShmAllocationError(
+                f"could not map {nbytes} shared bytes for "
+                f"ShmArena({self.tag!r}): {exc}") from exc
         self._segments[seg.name] = seg
         self.bytes_mapped += seg.size
         return seg
@@ -271,6 +290,78 @@ def _atexit_sweep() -> None:  # pragma: no cover - interpreter teardown
             arena.close()
         except Exception:
             pass
+
+
+# ----------------------------------------------------------------------
+# Stale-segment sweeper (orphans from killed interpreters)
+# ----------------------------------------------------------------------
+
+#: Where POSIX shared memory surfaces as files (Linux).
+_SHM_DIR = Path("/dev/shm")
+
+#: Segment-name shape: prefix + creator pid (hex) + token + counter.
+_SEGMENT_NAME_RE = re_module.compile(
+    re_module.escape(SEGMENT_PREFIX) + r"([0-9a-f]+)_[0-9a-f]+_[0-9a-f]+$")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def stale_segment_names() -> list[str]:
+    """``repro_shm_*`` segments whose creating interpreter is gone.
+
+    A SIGKILLed parent never runs its ``atexit`` sweep, so its segments
+    survive as orphans in ``/dev/shm`` — real memory held until reboot.
+    Every segment name embeds the creator's pid, so orphans are
+    decidable: a dead creator can never unlink its segment again.
+    Segments of live processes (including our own) are never listed.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return []
+    own = os.getpid()
+    stale = []
+    for entry in sorted(_SHM_DIR.glob(SEGMENT_PREFIX + "*")):
+        match = _SEGMENT_NAME_RE.match(entry.name)
+        if match is None:
+            continue
+        pid = int(match.group(1), 16)
+        if pid == own or _pid_alive(pid):
+            continue
+        stale.append(entry.name)
+    return stale
+
+
+def sweep_stale_segments() -> list[str]:
+    """Unlink every stale segment; returns the names removed.
+
+    Called on process-executor startup (and by ``python -m
+    repro.parallel --sweep-shm``).  Emits a single ``RuntimeWarning``
+    per sweep naming what was reclaimed — loud enough to notice a
+    crashing neighbour, quiet enough not to spam a worker fleet.
+    """
+    removed = []
+    for name in stale_segment_names():
+        try:
+            (_SHM_DIR / name).unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            continue
+        except OSError:  # pragma: no cover - permissions
+            continue
+        removed.append(name)
+    if removed:
+        warnings.warn(
+            f"swept {len(removed)} orphaned shared-memory segment(s) "
+            f"left by dead processes: {', '.join(removed[:5])}"
+            + ("..." if len(removed) > 5 else ""),
+            RuntimeWarning, stacklevel=2)
+    return removed
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,9 @@ What is checked on resume
 
 from __future__ import annotations
 
+import os
+import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -200,13 +203,15 @@ def _trace_from_arrays(arrays: dict[str, np.ndarray],
 def save_checkpoint(path: str | Path, tensor: COOTensor,
                     options: AOADMMOptions, states: list[AdmmState],
                     trace: FactorizationTrace,
-                    rhos: "list[float] | None" = None) -> Path:
+                    rhos: "list[float] | None" = None,
+                    fsync: bool = False) -> Path:
     """Atomically write the full optimizer state to *path*; returns it.
 
     ``block_reports`` (when ``options.track_block_reports`` is set) are
     the one trace field not persisted — they hold per-block objects with
     no stable array form; resumed traces carry ``None`` for pre-resume
-    records.
+    records.  ``fsync=True`` adds a durability barrier before the
+    atomic rename (see :func:`repro.core.serialize.save_state_npz`).
     """
     nmodes = len(states)
     arrays: dict[str, np.ndarray] = {}
@@ -233,7 +238,7 @@ def save_checkpoint(path: str | Path, tensor: COOTensor,
                                 for e in r.guard_events],
         "guard_log": [e.to_dict() for e in trace.guard_log],
     }
-    return save_state_npz(path, arrays, meta)
+    return save_state_npz(path, arrays, meta, fsync=fsync)
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
@@ -253,6 +258,152 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     return Checkpoint(iteration=int(meta["iteration"]), primals=primals,
                       duals=duals, rhos=arrays["rhos"],
                       trace=_trace_from_arrays(arrays, meta), meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Versioned store: retention, quarantine, fallback
+# ----------------------------------------------------------------------
+
+#: Suffix appended to a checkpoint file that failed to load (quarantine).
+QUARANTINE_SUFFIX = ".corrupt"
+
+_VERSION_RE = re.compile(r"\.it(\d{8})\.npz$")
+
+
+class CheckpointUnavailable(RuntimeError):
+    """No loadable checkpoint exists in the store."""
+
+
+class CheckpointStore:
+    """Versioned checkpoints around one base path, with retention.
+
+    ``CheckpointStore("ck.npz", keep_last=3)`` writes siblings
+    ``ck.it00000005.npz``, ``ck.it00000010.npz``, ... — one per
+    checkpointed iteration — and keeps only the newest *keep_last*.
+    Retention is crash-ordered: a new version is fsynced to stable
+    storage **before** any older version is unlinked, so there is never
+    an instant with zero durable checkpoints on disk.
+
+    Loading walks versions newest-first.  A file that fails integrity
+    verification (truncated zip, hash mismatch, garbage bytes — the
+    checkpoint layer fingerprints its own state) is **quarantined**:
+    renamed to ``<file>.corrupt`` so it can be inspected but never
+    retried, and the next older version is tried instead.  Only when no
+    version survives does :class:`CheckpointUnavailable` escalate.
+    """
+
+    def __init__(self, base_path: str | Path,
+                 keep_last: int | None = None) -> None:
+        base = Path(base_path)
+        if base.suffix != ".npz":
+            base = base.with_name(base.name + ".npz")
+        if keep_last is not None:
+            require(keep_last >= 1, "keep_last must be at least 1")
+        self.base = base
+        self.keep_last = keep_last
+        #: Paths this store quarantined (after rename), in order.
+        self.quarantined: list[Path] = []
+
+    # -- layout --------------------------------------------------------
+    def version_path(self, iteration: int) -> Path:
+        return self.base.with_name(
+            f"{self.base.stem}.it{iteration:08d}.npz")
+
+    def versions(self) -> list[Path]:
+        """Existing version files, oldest first."""
+        pattern = f"{self.base.stem}.it*.npz"
+        out = []
+        for p in self.base.parent.glob(pattern):
+            if _VERSION_RE.search(p.name):
+                out.append(p)
+        return sorted(out, key=lambda p: self._iteration_of(p))
+
+    @staticmethod
+    def _iteration_of(path: Path) -> int:
+        match = _VERSION_RE.search(path.name)
+        return int(match.group(1)) if match else -1
+
+    # -- write ---------------------------------------------------------
+    def save(self, tensor: COOTensor, options: AOADMMOptions,
+             states: list[AdmmState], trace: FactorizationTrace,
+             rhos: "list[float] | None" = None) -> Path:
+        """Write a new version for ``len(trace)``; prune after the fsync."""
+        path = save_checkpoint(self.version_path(len(trace)), tensor,
+                               options, states, trace, rhos=rhos,
+                               fsync=True)
+        self.prune()
+        return path
+
+    def prune(self) -> list[Path]:
+        """Unlink versions beyond ``keep_last`` (oldest first); returns them."""
+        if self.keep_last is None:
+            return []
+        versions = self.versions()
+        doomed = versions[:max(0, len(versions) - self.keep_last)]
+        for p in doomed:
+            try:
+                p.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing sweep
+                pass
+        return doomed
+
+    # -- read ----------------------------------------------------------
+    def latest_path(self) -> Path | None:
+        """Newest version file, or the plain base path, or ``None``."""
+        versions = self.versions()
+        if versions:
+            return versions[-1]
+        return self.base if self.base.exists() else None
+
+    def quarantine(self, path: Path, reason: str) -> Path:
+        """Move *path* aside as ``<path>.corrupt``; returns the new name."""
+        target = path.with_name(path.name + QUARANTINE_SUFFIX)
+        os.replace(path, target)
+        warnings.warn(
+            f"quarantined corrupt checkpoint {path.name} -> "
+            f"{target.name}: {reason}",
+            RuntimeWarning, stacklevel=2)
+        self.quarantined.append(target)
+        return target
+
+    def load_latest(self) -> tuple[Checkpoint, Path]:
+        """Newest checkpoint that passes its integrity check.
+
+        Corrupt versions are quarantined and the next older one is
+        tried; raises :class:`CheckpointUnavailable` when nothing loads.
+        """
+        candidates = list(reversed(self.versions()))
+        if self.base.exists():
+            candidates.append(self.base)
+        for path in candidates:
+            try:
+                return load_checkpoint(path), path
+            except Exception as exc:  # noqa: BLE001 - any load failure
+                self.quarantine(path, f"{type(exc).__name__}: {exc}")
+        raise CheckpointUnavailable(
+            f"no loadable checkpoint under {self.base} "
+            f"({len(self.quarantined)} quarantined)")
+
+
+def resolve_resume(resume_from: "str | Path | Checkpoint") -> Checkpoint:
+    """Turn a ``resume_from`` spec into a loaded :class:`Checkpoint`.
+
+    Accepts a loaded checkpoint, an exact file path, or a *base* path
+    whose :class:`CheckpointStore` versions exist (the supervised /
+    ``keep_last`` layout) — in which case the newest valid version wins,
+    with corrupt ones quarantined along the way.
+    """
+    if isinstance(resume_from, Checkpoint):
+        return resume_from
+    path = Path(resume_from)
+    if path.exists():
+        return load_checkpoint(path)
+    store = CheckpointStore(path)
+    if store.versions():
+        checkpoint, _ = store.load_latest()
+        return checkpoint
+    raise FileNotFoundError(f"no checkpoint at {path} (and no "
+                            f"{path.stem}.it*.npz versions beside it)")
 
 
 def verify_checkpoint(checkpoint: Checkpoint, tensor: COOTensor,

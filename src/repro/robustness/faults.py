@@ -29,15 +29,30 @@ Process executor
 
 from __future__ import annotations
 
+import errno
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..distributed.comm import WorkerFailure
+from ..parallel.shm import ShmAllocationError
 from ..validation import require
 
 #: Fault classes understood by :class:`FaultInjector`.
-FAULT_KINDS = ("mttkrp_nan", "indefinite_gram", "diverge_error")
+#:
+#: The first three corrupt *values* flowing through the loop (exercising
+#: the numerical guards); the rest simulate *environment* failures for
+#: the supervisor: ``stall`` wedges the loop until the watchdog
+#: interrupts it, ``shm_oom`` raises
+#: :class:`~repro.parallel.shm.ShmAllocationError` (memory pressure),
+#: ``checkpoint_enospc`` makes the next checkpoint write fail with
+#: ``ENOSPC``, and ``checkpoint_corrupt`` scribbles garbage over the
+#: checkpoint that was just written (exercising quarantine + fallback).
+FAULT_KINDS = ("mttkrp_nan", "indefinite_gram", "diverge_error",
+               "stall", "shm_oom", "checkpoint_enospc",
+               "checkpoint_corrupt")
 
 
 @dataclass(frozen=True)
@@ -56,12 +71,18 @@ class FaultSpec:
     #: Mode to hit; ``None`` matches any mode (kind-dependent).
     mode: int | None = None
     once: bool = True
+    #: For ``kind="stall"``: wedge for this many seconds, then resume.
+    #: ``None`` stalls indefinitely — until the watchdog injects
+    #: :class:`~repro.robustness.watchdog.FitStalled` into the loop.
+    seconds: float | None = None
 
     def __post_init__(self) -> None:
         require(self.kind in FAULT_KINDS,
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}")
         require(self.iteration >= 1, "fault iteration is 1-based")
+        require(self.seconds is None or self.seconds > 0.0,
+                "stall seconds must be positive when given")
 
 
 @dataclass(frozen=True)
@@ -123,6 +144,59 @@ class FaultInjector:
         if not self._match("diverge_error", iteration, None):
             return error
         return error * 10.0 + 1.0
+
+    def _stall_seconds(self, iteration: int) -> float | None:
+        """Duration of the stall fired at *iteration* (sentinel inf = forever)."""
+        for i, f in enumerate(self.faults):
+            if f.kind != "stall" or i in self._spent:
+                continue
+            if iteration == f.iteration if f.once else iteration >= f.iteration:
+                return f.seconds if f.seconds is not None else float("inf")
+        return None
+
+    def pre_iteration(self, iteration: int) -> None:
+        """Environment faults fired at the top of an outer iteration.
+
+        ``stall`` blocks in an interruptible short-sleep loop — forever
+        when ``seconds`` is unset, so only the watchdog's injected
+        :class:`~repro.robustness.watchdog.FitStalled` (or a signal) can
+        unwedge it.  ``shm_oom`` raises
+        :class:`~repro.parallel.shm.ShmAllocationError`, the same class
+        a genuine shared-memory mapping failure produces.
+        """
+        duration = self._stall_seconds(iteration)
+        if duration is not None and self._match("stall", iteration, None):
+            start = time.monotonic()
+            while time.monotonic() - start < duration:
+                # Short ticks: async-injected exceptions and signals are
+                # delivered between bytecodes, never mid-sleep(3600).
+                time.sleep(0.01)
+        if self._match("shm_oom", iteration, None):
+            raise ShmAllocationError(
+                f"injected shared-memory allocation failure at iteration "
+                f"{iteration}")
+
+    def check_checkpoint_write(self, iteration: int) -> None:
+        """Fail the checkpoint write at *iteration* with ``ENOSPC``."""
+        if self._match("checkpoint_enospc", iteration, None):
+            raise OSError(errno.ENOSPC,
+                          f"injected ENOSPC during checkpoint write at "
+                          f"iteration {iteration}")
+
+    def corrupt_checkpoint(self, path, iteration: int) -> bool:
+        """Scribble garbage over the checkpoint just written at *path*.
+
+        Fired *after* a successful write, so the corrupt-latest /
+        fall-back-to-previous recovery path is exercised exactly as a
+        torn page or bit rot would: the file exists, has a plausible
+        size, and fails integrity verification on load.
+        """
+        if not self._match("checkpoint_corrupt", iteration, None):
+            return False
+        path = Path(path)
+        size = max(path.stat().st_size, 64)
+        path.write_bytes(b"\x00repro-injected-corruption\x00" * (size // 27 + 1))
+        return True
 
 
 # ----------------------------------------------------------------------

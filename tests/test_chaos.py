@@ -1,0 +1,147 @@
+"""Chaos: kill a real supervised fit mid-run, restart it, compare bits.
+
+The in-process preemption tests (``tests/test_supervisor.py``) prove the
+flag-and-checkpoint mechanics; this module proves the whole journey —
+a *separate interpreter* running a supervised fit receives a real
+``SIGTERM``, exits through the graceful-preemption path, and a fresh
+process resuming from its checkpoints reproduces the uninterrupted run
+bit-for-bit, for both the serial and the process-pool executor.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import AOADMMOptions, fit_aoadmm
+from repro.tensor import noisy_lowrank_coo
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Runs in a child interpreter: a supervised fit that SIGTERMs *itself*
+#: after outer iteration 3 (deterministic, no timing window), then
+#: reports how it stopped.  Exit code 3 = preempted (the CLI contract).
+_CHILD_SCRIPT = """
+import os, signal, sys
+from repro import AOADMMOptions
+from repro.robustness import Backoff, SupervisorOptions, supervise_fit
+from repro.tensor import noisy_lowrank_coo
+
+executor, ck_path = sys.argv[1], sys.argv[2]
+tensor, _ = noisy_lowrank_coo((30, 25, 20), rank=4, nnz=2000, seed=0)
+options = AOADMMOptions(
+    rank=4, constraints="nonneg", seed=0,
+    max_outer_iterations=8, outer_tolerance=0.0,
+    executor=executor, threads=2, slab_nnz_target=256,
+    checkpoint_every=1, checkpoint_keep_last=3, checkpoint_path=ck_path,
+    callback=lambda r: (r.iteration == 3
+                        and os.kill(os.getpid(), signal.SIGTERM))
+    and False)
+result, report = supervise_fit(
+    tensor, options,
+    SupervisorOptions(backoff=Backoff(initial=0.0, multiplier=1.0,
+                                      max_delay=0.0),
+                      install_signal_handlers=True))
+print("STOP", result.stop_reason, len(result.trace), flush=True)
+sys.exit(3 if result.stop_reason == "preempted" else 0)
+"""
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    t, _ = noisy_lowrank_coo((30, 25, 20), rank=4, nnz=2000, seed=0)
+    return t
+
+
+@pytest.fixture(scope="module")
+def reference(tensor):
+    return fit_aoadmm(tensor, AOADMMOptions(
+        rank=4, constraints="nonneg", seed=0,
+        max_outer_iterations=8, outer_tolerance=0.0))
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_sigterm_then_restart_is_bit_identical(executor, tensor, reference,
+                                               tmp_path):
+    ck_path = str(tmp_path / "chaos.npz")
+    env = {**os.environ,
+           "PYTHONPATH": str(REPO_ROOT / "src"),
+           # The child must not inherit an executor override: the test
+           # pins the executor explicitly per parametrization.
+           "REPRO_EXECUTOR": executor}
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, executor, ck_path],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=300)
+    assert child.returncode == 3, \
+        f"child did not preempt: rc={child.returncode}\n" \
+        f"stdout={child.stdout}\nstderr={child.stderr}"
+    assert "STOP preempted 3" in child.stdout
+
+    # A fresh process (this one) resumes from the child's checkpoints
+    # and must land exactly where the uninterrupted run does.
+    options = AOADMMOptions(
+        rank=4, constraints="nonneg", seed=0,
+        max_outer_iterations=8, outer_tolerance=0.0,
+        executor=executor, threads=2, slab_nnz_target=256)
+    resumed = fit_aoadmm(tensor, options, resume_from=ck_path)
+    assert resumed.stop_reason == "max_iterations"
+    for m, (a, b) in enumerate(zip(reference.model.factors,
+                                   resumed.model.factors)):
+        np.testing.assert_array_equal(a, b, err_msg=f"mode {m}")
+    np.testing.assert_array_equal(reference.trace.errors(),
+                                  resumed.trace.errors())
+
+
+def test_no_shm_leak_after_killed_child(tmp_path):
+    """A SIGKILLed process-executor child leaks segments; the sweeper
+    (and hence the next pool startup) reclaims them."""
+    if not Path("/dev/shm").is_dir():
+        pytest.skip("POSIX shm filesystem required")
+    marker = tmp_path / "spawned"
+    script = f"""
+import pathlib, time
+import numpy as np
+from repro.parallel.shm import ShmArena
+arena = ShmArena(tag="chaosleak")
+arena.put_group("leak", {{"a": np.zeros(4096)}})
+pathlib.Path({str(marker)!r}).write_text("up")
+time.sleep(60)
+"""
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    # New session: the child AND its multiprocessing resource-tracker
+    # helper share a process group we can SIGKILL atomically.  Killing
+    # only the child would let the tracker unlink the segment for us —
+    # the machine-reboot / OOM-killer scenario kills both.
+    child = subprocess.Popen([sys.executable, "-c", script], env=env,
+                             cwd=REPO_ROOT, start_new_session=True)
+    try:
+        for _ in range(600):
+            if marker.exists():
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("child never came up")
+        os.killpg(child.pid, 9)  # SIGKILL: no cleanup runs anywhere
+        child.wait()
+        from repro.parallel.shm import (SEGMENT_PREFIX, stale_segment_names,
+                                        sweep_stale_segments)
+        mine = f"{SEGMENT_PREFIX}{child.pid:x}_"
+        stale = [n for n in stale_segment_names() if n.startswith(mine)]
+        assert stale, "killed child left no detectable orphan"
+        with pytest.warns(RuntimeWarning, match="swept"):
+            removed = sweep_stale_segments()
+        assert set(stale) <= set(removed)
+        assert not [n for n in stale_segment_names()
+                    if n.startswith(mine)]
+    finally:
+        if child.poll() is None:
+            try:
+                os.killpg(child.pid, 9)
+            except ProcessLookupError:
+                child.kill()
+            child.wait()

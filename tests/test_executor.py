@@ -24,6 +24,7 @@ from repro.core.options import AOADMMOptions
 from repro.kernels.dispatch import MTTKRPEngine
 from repro.parallel import parallel_for as thread_parallel_for
 from repro.parallel.executor import (
+    DEFAULT_EXECUTOR,
     EXECUTOR_ENV_VAR,
     ProcessExecutor,
     SerialExecutor,
@@ -165,9 +166,16 @@ class TestExecutorResolution:
     def test_unknown_name_rejected(self, monkeypatch):
         with pytest.raises(ValueError, match="unknown executor"):
             get_executor("gpu")
+        # Explicit names raise; a malformed *environment* value only
+        # warns (once per value) and falls back to the default — a shell
+        # typo must not crash every library call.
         monkeypatch.setenv(EXECUTOR_ENV_VAR, "bogus")
-        with pytest.raises(ValueError, match="unknown executor"):
-            resolve_executor(None)
+        with pytest.warns(RuntimeWarning, match="malformed REPRO_EXECUTOR"):
+            ex = resolve_executor(None)
+        assert ex.name == DEFAULT_EXECUTOR
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second resolve: no re-warn
+            assert resolve_executor(None).name == DEFAULT_EXECUTOR
 
     def test_options_validate_executor_name(self):
         with pytest.raises(ValueError, match="unknown executor"):
