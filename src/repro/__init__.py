@@ -86,13 +86,37 @@ from .robustness import (
 from .tensor import (
     COOTensor,
     CSFTensor,
+    ShardedTensorStore,
     load_tns,
-    read_tns,
+    open_tensor,
     save_tns,
-    write_tns,
 )
+from .types import TensorSource
 
 __version__ = "1.0.0"
+
+#: Deprecated top-level spellings -> (module path, attribute).  Kept
+#: importable through ``__getattr__`` below with a DeprecationWarning
+#: (mirroring the legacy flat-kwargs pattern): ``repro.open_tensor`` /
+#: ``repro.load_tns`` / ``repro.save_tns`` are the supported spellings.
+_DEPRECATED_ATTRS = {
+    "read_tns": ("repro.tensor.io", "read_tns", "repro.open_tensor"),
+    "write_tns": ("repro.tensor.io", "write_tns", "repro.save_tns"),
+}
+
+
+def __getattr__(name: str):
+    entry = _DEPRECATED_ATTRS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_path, attr, replacement = entry
+    import importlib
+    import warnings
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} (the unified "
+        "TensorSource front door) instead",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(module_path), attr)
 
 __all__ = [
     "fit",
@@ -153,6 +177,9 @@ __all__ = [
     "verify_checkpoint",
     "COOTensor",
     "CSFTensor",
+    "ShardedTensorStore",
+    "TensorSource",
+    "open_tensor",
     "read_tns",
     "write_tns",
     "load_tns",

@@ -22,6 +22,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -35,7 +36,7 @@ from .robustness.supervisor import (
     SupervisorOptions,
     SupervisorReport,
 )
-from .tensor.coo import COOTensor
+from .types import TensorSource
 from .validation import require
 
 #: method name -> driver; every driver shares the
@@ -91,7 +92,7 @@ class FitResult:
         return len(self.trace)
 
 
-def fit(tensor: COOTensor,
+def fit(tensor: "TensorSource | str | Path",
         rank: int | None = None,
         constraints: object | None = None,
         method: str = "aoadmm",
@@ -107,7 +108,14 @@ def fit(tensor: COOTensor,
     Parameters
     ----------
     tensor:
-        The sparse tensor in COO format.
+        Any :class:`~repro.types.TensorSource` (an in-core
+        :class:`~repro.tensor.coo.COOTensor` / CSF tensor, or an
+        out-of-core :class:`~repro.tensor.store.ShardedTensorStore`),
+        or a **path** — a ``.tns``/``.tns.gz`` file or a sharded store
+        directory — opened through
+        :func:`~repro.tensor.store.open_tensor` honoring
+        ``max_bytes_in_core`` (the option or the
+        ``REPRO_MAX_BYTES_IN_CORE`` environment variable).
     rank, constraints:
         The two settings everyone touches, promoted to positional-friendly
         arguments; ``None`` leaves the (given or default) *options* value.
@@ -157,6 +165,15 @@ def fit(tensor: COOTensor,
     if constraints is not None:
         option_kwargs["constraints"] = constraints
     options = options_from_kwargs(base=options, **option_kwargs)
+
+    if isinstance(tensor, (str, Path)):
+        from .tensor.store import open_tensor
+        tensor = open_tensor(tensor,
+                             max_bytes_in_core=options.max_bytes_in_core,
+                             slab_nnz_target=options.slab_nnz_target)
+    require(isinstance(tensor, TensorSource),
+            f"tensor must be a TensorSource or a path, got "
+            f"{type(tensor).__name__}")
 
     driver_kwargs: dict[str, object] = {
         "options": options,

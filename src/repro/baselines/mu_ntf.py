@@ -21,7 +21,7 @@ from ..core.cpd import CPModel
 from ..core.init import init_factors
 from ..core.options import AOADMMOptions
 from ..core.trace import FactorizationTrace, OuterIterationRecord
-from ..kernels.dispatch import MTTKRPEngine
+from ..kernels.dispatch import MTTKRPEngine, make_engine
 from ..linalg.grams import GramCache
 from ..observability import StageClock, record_iteration, span
 from ..tensor.coo import COOTensor
@@ -50,8 +50,7 @@ def fit_mu(tensor: COOTensor,
         factors = [np.abs(np.array(f, dtype=float, copy=True))
                    for f in initial_factors]
     if engine is None:
-        engine = MTTKRPEngine(tensor)
-        engine.trees.build_all()
+        engine = make_engine(tensor)
 
     gram_cache = GramCache(factors)
     norm_x_sq = tensor.norm_squared()

@@ -21,10 +21,15 @@ import numpy as np
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .bench.tables import format_table
-    from .tensor.io import read_tns
+    from .tensor.coo import COOTensor
     from .tensor.stats import compute_stats
+    from .tensor.store import open_tensor
 
-    tensor = read_tns(args.tensor)
+    tensor = open_tensor(args.tensor)
+    if not isinstance(tensor, COOTensor):
+        # Fiber/skew statistics need explicit coordinates; a store's
+        # summary view expands once, here, not in the fit path.
+        tensor = tensor.to_coo()
     stats = compute_stats(tensor)
     rows = [{
         "NNZ": stats.nnz,
@@ -41,9 +46,10 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
     from .constraints.registry import make_constraint
     from .core.aoadmm import fit_aoadmm
     from .core.options import options_from_kwargs
-    from .tensor.io import read_tns
+    from .tensor.store import open_tensor
 
-    tensor = read_tns(args.tensor)
+    tensor = open_tensor(args.tensor,
+                         max_bytes_in_core=args.max_bytes_in_core)
     constraint = make_constraint(
         args.constraint,
         **({"weight": args.weight} if args.constraint in
@@ -63,6 +69,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
         checkpoint_keep_last=args.keep_last,
+        max_bytes_in_core=args.max_bytes_in_core,
     )
     report = None
     if args.supervise:
@@ -95,6 +102,21 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
                  for m, f in enumerate(result.model.factors)}
         np.savez(args.output, **saved)
         print(f"factors saved to {args.output}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .tensor.store import ShardedTensorStore, open_tensor
+
+    tensor = open_tensor(args.tensor)
+    if isinstance(tensor, ShardedTensorStore):
+        print(f"{args.tensor} is already a sharded store")
+        return 2
+    store = ShardedTensorStore.create(tensor, args.output,
+                                      slab_nnz_target=args.slab_nnz)
+    slabs = "/".join(str(store.slab_count(m)) for m in range(store.nmodes))
+    print(f"{store} -> {args.output} (slabs per mode: {slabs})")
+    store.close()
     return 0
 
 
@@ -134,11 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "accelerated AO-ADMM (ICPP 2017 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("stats", help="summarize a .tns tensor")
+    p = sub.add_parser("stats",
+                       help="summarize a .tns tensor or sharded store")
     p.add_argument("tensor")
     p.set_defaults(func=_cmd_stats)
 
-    p = sub.add_parser("factorize", help="run AO-ADMM on a .tns tensor")
+    p = sub.add_parser("factorize",
+                       help="run AO-ADMM on a .tns tensor or sharded store")
     p.add_argument("tensor")
     p.add_argument("--rank", type=int, default=16)
     p.add_argument("--constraint", default="nonneg")
@@ -176,7 +200,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "executor degradation ladder, graceful "
                         "SIGTERM/SIGINT preemption (exit code 3 when "
                         "preempted)")
+    p.add_argument("--max-bytes-in-core", type=int, metavar="BYTES",
+                   help="stream the tensor out-of-core, keeping at most "
+                        "this many slab bytes resident "
+                        "(REPRO_MAX_BYTES_IN_CORE in the environment)")
     p.set_defaults(func=_cmd_factorize)
+
+    p = sub.add_parser("shard",
+                       help="convert a .tns tensor into a sharded "
+                            "on-disk store")
+    p.add_argument("tensor", help="source .tns / .tns.gz file")
+    p.add_argument("output", help="destination store directory")
+    p.add_argument("--slab-nnz", type=int, metavar="N",
+                   help="non-zeros per slab (default: config "
+                        "DEFAULT_SLAB_NNZ)")
+    p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("generate", help="write a synthetic corpus")
     p.add_argument("dataset",

@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from ..kernels.dispatch import MTTKRPEngine
+from ..kernels.dispatch import MTTKRPEngine, make_engine
 from ..linalg.cholesky import CholeskyFactor
 from ..linalg.grams import GramCache
 from ..observability import StageClock, record_iteration, span
@@ -47,8 +47,7 @@ def fit_als(tensor: COOTensor,
         factors = [np.array(f, dtype=float, copy=True)
                    for f in initial_factors]
     if engine is None:
-        engine = MTTKRPEngine(tensor)
-        engine.trees.build_all()
+        engine = make_engine(tensor)
 
     gram_cache = GramCache(factors)
     norm_x_sq = tensor.norm_squared()

@@ -32,7 +32,7 @@ from ..admm.blocked import blocked_admm_update
 from ..admm.rho import make_rho_policy
 from ..admm.solver import admm_update
 from ..admm.state import AdmmState
-from ..kernels.dispatch import MTTKRPEngine
+from ..kernels.dispatch import MTTKRPEngine, make_engine
 from ..linalg.grams import GramCache
 from ..observability import StageClock, record_admm_report, record_iteration, span
 from ..robustness.checkpoint import (
@@ -44,7 +44,7 @@ from ..robustness.checkpoint import (
 )
 from ..robustness.guards import HealthMonitor, RollbackRequested
 from ..sparse.analysis import density
-from ..tensor.coo import COOTensor
+from ..types import TensorSource
 from ..validation import require
 from .convergence import ConvergenceCriterion
 from .cpd import CPModel
@@ -87,7 +87,7 @@ class FactorizationResult:
         return self.trace.final_error()
 
 
-def fit_aoadmm(tensor: COOTensor,
+def fit_aoadmm(tensor: TensorSource,
                options: AOADMMOptions | None = None,
                initial_factors: list[np.ndarray] | None = None,
                engine: MTTKRPEngine | None = None,
@@ -98,7 +98,10 @@ def fit_aoadmm(tensor: COOTensor,
     Parameters
     ----------
     tensor:
-        The sparse tensor in COO format.
+        Any :class:`~repro.types.TensorSource` — an in-core
+        :class:`~repro.tensor.coo.COOTensor` / CSF tensor, or an
+        out-of-core :class:`~repro.tensor.store.ShardedTensorStore`
+        (streamed under ``options.max_bytes_in_core``).
     options:
         Run configuration; defaults reproduce the paper's setup.
     initial_factors:
@@ -176,13 +179,13 @@ def fit_aoadmm(tensor: COOTensor,
 
     owned_engine = engine is None
     if engine is None:
-        engine = MTTKRPEngine(tensor, repr_policy=options.repr_policy,
-                              sparsity_threshold=options.sparsity_threshold,
-                              tol=options.factor_zero_tol,
-                              threads=options.threads,
-                              slab_nnz_target=options.slab_nnz_target,
-                              executor=options.executor)
-        engine.trees.build_all()
+        engine = make_engine(tensor, repr_policy=options.repr_policy,
+                             sparsity_threshold=options.sparsity_threshold,
+                             tol=options.factor_zero_tol,
+                             threads=options.threads,
+                             slab_nnz_target=options.slab_nnz_target,
+                             executor=options.executor,
+                             max_bytes_in_core=options.max_bytes_in_core)
     if checkpoint is not None:
         # Rebuild the dynamic factor representations (Section IV-C) the
         # uninterrupted run would carry at this point — they are a pure

@@ -19,11 +19,11 @@ import scipy.sparse.linalg
 from ..linalg.norms import model_norm_squared
 from ..tensor.coo import COOTensor
 from ..tensor.matricize import matricize_coo
-from ..types import VALUE_DTYPE, SeedLike, as_generator
+from ..types import VALUE_DTYPE, SeedLike, TensorSource, as_generator
 from ..validation import check_rank, require
 
 
-def init_factors(tensor: COOTensor, rank: int, method: str = "uniform",
+def init_factors(tensor: TensorSource, rank: int, method: str = "uniform",
                  seed: SeedLike = None) -> list[np.ndarray]:
     """Build one initial factor per mode.
 
@@ -34,6 +34,13 @@ def init_factors(tensor: COOTensor, rank: int, method: str = "uniform",
     """
     rank = check_rank(rank)
     rng = as_generator(seed)
+    if method == "hosvd":
+        # HOSVD builds sparse unfoldings from explicit coordinates;
+        # out-of-core stores never materialize those in one piece.
+        require(isinstance(tensor, COOTensor),
+                "hosvd initialization needs an in-core COOTensor "
+                f"(got {type(tensor).__name__}); use init='uniform' or "
+                "init='normal' for out-of-core sources")
     if method == "uniform":
         factors = [rng.uniform(0.0, 1.0, size=(extent, rank))
                    for extent in tensor.shape]
@@ -77,7 +84,7 @@ def _hosvd_factors(tensor: COOTensor, rank: int,
 
 
 def _rescale_to_tensor(factors: list[np.ndarray],
-                       tensor: COOTensor) -> list[np.ndarray]:
+                       tensor: TensorSource) -> list[np.ndarray]:
     """Scale all factors so the initial model norm matches ``||X||``."""
     norm_x = tensor.norm()
     if norm_x <= 0.0:

@@ -69,6 +69,15 @@ class AOADMMOptions:
         Non-zeros per MTTKRP slab for the engine's CSF tilings
         (Section IV-A slice parallelism).  ``None`` uses
         :data:`repro.config.DEFAULT_SLAB_NNZ`.
+    max_bytes_in_core:
+        Byte budget for the out-of-core slab residency set when the
+        tensor is a :class:`~repro.tensor.store.ShardedTensorStore`
+        (or a path ``repro.fit`` opens through ``open_tensor``).
+        ``None`` defers to the store's own budget / the
+        ``REPRO_MAX_BYTES_IN_CORE`` environment variable.  Like
+        ``threads``/``slab_nnz_target`` this is a performance knob:
+        results are bit-identical for any value, so it does not
+        participate in checkpoint compatibility.
     guard_policy:
         Numerical-guard reaction (see :mod:`repro.robustness.guards`):
         ``"raise"`` (default — abort loudly on NaN/Inf/divergence),
@@ -115,6 +124,7 @@ class AOADMMOptions:
     threads: int | None = 1
     executor: object = None
     slab_nnz_target: int | None = None
+    max_bytes_in_core: int | None = None
     track_block_reports: bool = False
     #: Called after every outer iteration with the fresh
     #: :class:`~repro.core.trace.OuterIterationRecord`; returning a truthy
@@ -140,6 +150,9 @@ class AOADMMOptions:
         if self.slab_nnz_target is not None:
             require(self.slab_nnz_target >= 1,
                     "slab_nnz_target must be positive")
+        if self.max_bytes_in_core is not None:
+            require(self.max_bytes_in_core >= 1,
+                    "max_bytes_in_core must be positive")
         if isinstance(self.executor, str):
             from ..parallel.executor import EXECUTOR_NAMES
             require(self.executor in EXECUTOR_NAMES,

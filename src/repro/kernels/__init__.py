@@ -21,7 +21,13 @@ from .mttkrp_csf import (
 )
 from .mttkrp_sparse import mttkrp_csf_root_repr, FactorRepresentation
 from .workspace import BufferPool, KernelWorkspace
-from .dispatch import mttkrp, MTTKRPEngine, MTTKRPCallStats
+from .dispatch import (
+    mttkrp,
+    make_engine,
+    MTTKRPEngine,
+    MTTKRPCallStats,
+    StreamingMTTKRPEngine,
+)
 
 __all__ = [
     "scatter_add_rows",
@@ -37,6 +43,8 @@ __all__ = [
     "BufferPool",
     "KernelWorkspace",
     "mttkrp",
+    "make_engine",
     "MTTKRPEngine",
     "MTTKRPCallStats",
+    "StreamingMTTKRPEngine",
 ]

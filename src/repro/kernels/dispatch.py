@@ -15,6 +15,7 @@ every call — including memoized ``method="csf"`` hits — into
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Literal
 
@@ -43,7 +44,7 @@ from ..tensor.tiling import CSFTiling
 from ..types import FactorList
 from ..validation import check_mode, require
 from .mttkrp_coo import mttkrp_coo
-from .mttkrp_csf import mttkrp_csf
+from .mttkrp_csf import _upward_to_level, mttkrp_csf
 from .mttkrp_sparse import (
     FactorRepresentation,
     leaf_aggregator,
@@ -458,3 +459,193 @@ class MTTKRPEngine:
         self.call_log.append(stats)
         record_mttkrp_call(stats, rank=int(np.asarray(factors[0]).shape[1]))
         return out
+
+
+class StreamingMTTKRPEngine:
+    """Out-of-core MTTKRP over a :class:`~repro.tensor.store.ShardedTensorStore`.
+
+    Drop-in replacement for :class:`MTTKRPEngine` on the driver side
+    (same ``update_factor`` / ``mttkrp`` / ``representation`` / ``close``
+    / ``call_log`` / ``executor_events`` surface), but instead of owning
+    in-core CSF trees it streams each mode's pre-sharded slabs from disk
+    through an LRU :class:`~repro.tensor.ooc.SlabCache` bounded by
+    ``max_bytes_in_core``, prefetching one slab ahead through the
+    executor while the parent computes on the current one.
+
+    **Bit-identity.**  The store holds ALLMODE trees split at root-slice
+    boundaries, so every slab is served by the root kernel: the per-slab
+    upward sweep (:func:`~repro.kernels.mttkrp_csf._upward_to_level`) is
+    computed segment-by-segment exactly as the monolithic in-core sweep
+    would (fiber segments never cross a slab boundary), and each slab
+    writes a **disjoint** set of output rows (root ids are unique and
+    ascending across slabs), so no reduction — and no reduction-order
+    sensitivity — exists.  Residency decisions only change *when* bytes
+    are mapped, never *what* is computed, so factors and traces are
+    bit-identical to the in-core engines for any byte budget, eviction
+    schedule, or prefetch timing.
+
+    Streaming always computes with dense factors (the root kernel's
+    sparse-representation path needs a persistent leaf aggregator per
+    tree, which would defeat eviction), so ``repr_policy`` must be
+    ``"dense"``.
+    """
+
+    def __init__(self, store,
+                 repr_policy: ReprPolicy = "dense",
+                 threads: int | None = 1,
+                 executor: "str | ExecutorBase | None" = None,
+                 max_bytes_in_core: int | None = None,
+                 prefetch: bool = True):
+        from ..tensor.ooc import SlabCache, SlabStreamer
+        from ..tensor.store import resolve_byte_budget
+        require(repr_policy == "dense",
+                "the streaming (out-of-core) engine computes with dense "
+                f"factors only; got repr_policy={repr_policy!r}")
+        self.store = store
+        self.repr_policy: ReprPolicy = "dense"
+        self.threads = threads
+        self._executor = resolve_executor(executor)
+        if max_bytes_in_core is None:
+            max_bytes_in_core = getattr(store, "max_bytes_in_core", None)
+        if max_bytes_in_core is None:
+            max_bytes_in_core = resolve_byte_budget()
+        #: One residency set shared by every mode — the byte budget is a
+        #: process-level promise, not a per-mode one.
+        self.cache = SlabCache(max_bytes_in_core)
+        self._streamer = SlabStreamer(store, self.cache,
+                                      executor=self._executor,
+                                      prefetch=prefetch)
+        self._rep_names: dict[int, str] = {}
+        #: Pooled output buffers, one per mode (zero-allocation after
+        #: warm-up, matching the in-core workspace contract: the result
+        #: is valid until the next call for the same mode).
+        self._out: dict[int, np.ndarray] = {}
+        self.executor_events: list = []
+        self.call_log: list[MTTKRPCallStats] = []
+
+    @property
+    def nmodes(self) -> int:
+        return self.store.nmodes
+
+    @property
+    def executor_name(self) -> str:
+        return self._executor.name
+
+    @property
+    def max_bytes_in_core(self) -> int | None:
+        return self.cache.max_bytes_in_core
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop resident slabs (idempotent; the store stays open)."""
+        self.cache.clear()
+
+    def __enter__(self) -> "StreamingMTTKRPEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def update_factor(self, mode: int, factor: np.ndarray) -> str:
+        """Register a factor update; streaming always computes dense."""
+        mode = check_mode(mode, self.nmodes)
+        self._rep_names[mode] = "dense"
+        record_representation(mode, "dense", np.asarray(factor))
+        return "dense"
+
+    def representation(self, mode: int) -> str:
+        return self._rep_names.get(mode, "dense")
+
+    def _out_buffer(self, mode: int, rank: int) -> tuple[np.ndarray, int]:
+        shape = (self.store.shape[mode], rank)
+        out = self._out.get(mode)
+        allocated = 0
+        if out is None or out.shape != shape:
+            out = np.empty(shape, dtype=np.float64)
+            self._out[mode] = out
+            allocated = out.nbytes
+        out.fill(0.0)
+        return out, allocated
+
+    def mttkrp(self, factors: FactorList, mode: int) -> np.ndarray:
+        """MTTKRP for *mode*, streamed slab-by-slab under the byte budget."""
+        mode = check_mode(mode, self.nmodes)
+        rank = int(np.asarray(factors[0]).shape[1])
+        start = time.perf_counter()
+        out, allocated = self._out_buffer(mode, rank)
+        with span("mttkrp", mode=mode, representation="dense",
+                  streaming=True):
+            for slab in self._streamer.iter_mode(mode):
+                tree = slab.tree
+                # The root kernel on one slab: fibers never straddle a
+                # slab boundary and root ids are disjoint across slabs,
+                # so these row writes compose bit-identically with the
+                # monolithic sweep.
+                rows = _upward_to_level(tree, factors, 0)
+                out[tree.fids[0]] = rows
+        stats = MTTKRPCallStats(
+            mode=mode, leaf_mode=self.store.mode_order(mode)[-1],
+            representation="dense",
+            gathered_nnz=self.store.nnz * rank,
+            tensor_nnz=self.store.nnz,
+            slab_count=self.store.slab_count(mode),
+            bytes_allocated=allocated,
+            seconds=time.perf_counter() - start,
+            executor=self._executor.name,
+            workers=effective_threads(self.threads))
+        self.call_log.append(stats)
+        record_mttkrp_call(stats, rank=rank)
+        return out
+
+
+def make_engine(tensor,
+                repr_policy: ReprPolicy = "dense",
+                sparsity_threshold: float = SPARSITY_THRESHOLD,
+                tol: float = 0.0,
+                csf_allocation: str = "all",
+                threads: int | None = 1,
+                slab_nnz_target: int | None = None,
+                executor: "str | ExecutorBase | None" = None,
+                max_bytes_in_core: int | None = None):
+    """Build the right MTTKRP engine for any ``TensorSource``.
+
+    The single dispatch point the drivers use:
+
+    * :class:`~repro.tensor.store.ShardedTensorStore` →
+      :class:`StreamingMTTKRPEngine` (out-of-core, budget-bounded);
+    * :class:`~repro.tensor.csf.CSFTensor` → expanded back to COO (the
+      engine re-sorts per mode anyway) and handled below;
+    * :class:`~repro.tensor.coo.COOTensor` → :class:`MTTKRPEngine` with
+      all trees built eagerly (the historical driver behaviour).
+
+    ``max_bytes_in_core`` only influences the out-of-core path; in-core
+    tensors are already resident and the knob is ignored for them.
+    """
+    from ..tensor.store import ShardedTensorStore
+    if isinstance(tensor, ShardedTensorStore):
+        if repr_policy != "dense":
+            # The streaming root kernel has no sparse-factor variant
+            # (a persistent per-tree leaf aggregator would defeat
+            # eviction): degrade to dense rather than fail — otherwise
+            # a process-wide REPRO_MAX_BYTES_IN_CORE would break any
+            # run configured with repr_policy="auto"/"csr".
+            warnings.warn(
+                f"repr_policy={repr_policy!r} is unavailable out of "
+                "core; the streaming engine computes with dense factors",
+                RuntimeWarning, stacklevel=2)
+        return StreamingMTTKRPEngine(
+            tensor, threads=threads,
+            executor=executor, max_bytes_in_core=max_bytes_in_core)
+    if isinstance(tensor, CSFTensor):
+        tensor = tensor.to_coo()
+    require(isinstance(tensor, COOTensor),
+            f"cannot build an MTTKRP engine from {type(tensor).__name__}")
+    engine = MTTKRPEngine(tensor, repr_policy=repr_policy,
+                          sparsity_threshold=sparsity_threshold,
+                          tol=tol, csf_allocation=csf_allocation,
+                          threads=threads,
+                          slab_nnz_target=slab_nnz_target,
+                          executor=executor)
+    engine.trees.build_all()
+    return engine

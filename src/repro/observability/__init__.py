@@ -38,6 +38,7 @@ from .hooks import (
     record_iteration,
     record_mttkrp_call,
     record_representation,
+    record_slab_event,
     record_supervisor_event,
     record_tiling,
     remove_hook,
@@ -159,6 +160,7 @@ __all__ = [
     "record_representation",
     "record_admm_report",
     "record_iteration",
+    "record_slab_event",
     "record_supervisor_event",
     "mttkrp_flops_bytes",
     "roofline_seconds",

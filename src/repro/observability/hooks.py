@@ -233,6 +233,36 @@ def record_admm_report(report, mode: int, blocked: bool) -> None:
     _emit("admm", {"report": report, "mode": mode, "blocked": blocked})
 
 
+def record_slab_event(kind: str, mode: int, slab: int, nbytes: int,
+                      resident_bytes: int, resident_count: int) -> None:
+    """One residency-set transition of the out-of-core slab cache.
+
+    ``kind`` is the cache's event vocabulary — ``"load"`` (slab read
+    from disk into the residency set), ``"hit"`` (already resident),
+    ``"evict"`` (dropped to fit ``max_bytes_in_core``), ``"prefetch"``
+    (read issued ahead of consumption through the executor).  The
+    gauges track the residency set *after* the transition, so a
+    dashboard shows the byte budget actually being honoured.
+    """
+    if not is_enabled():
+        return
+    reg = active_registry()
+    if kind == "load":
+        reg.counter("slab_loads", mode=mode).inc()
+        reg.counter("slab_bytes_read", mode=mode).inc(int(nbytes))
+    elif kind == "hit":
+        reg.counter("slab_hits", mode=mode).inc()
+    elif kind == "evict":
+        reg.counter("slab_evictions", mode=mode).inc()
+    elif kind == "prefetch":
+        reg.counter("slab_prefetches", mode=mode).inc()
+    reg.gauge("slab_resident_bytes").set(int(resident_bytes))
+    reg.gauge("slab_resident_count").set(int(resident_count))
+    _emit("slab", {"kind": kind, "mode": mode, "slab": slab,
+                   "nbytes": nbytes, "resident_bytes": resident_bytes,
+                   "resident_count": resident_count})
+
+
 def record_iteration(record, scope: str = "aoadmm") -> None:
     """A completed outer iteration (an ``OuterIterationRecord``)."""
     if not is_enabled():

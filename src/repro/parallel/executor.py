@@ -53,6 +53,29 @@ DEFAULT_EXECUTOR = "thread"
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
 
+class _ImmediateResult:
+    """A future-shaped wrapper around an already-computed value.
+
+    ``submit_one`` on executors without an async path runs the task
+    inline and hands the caller one of these, so call sites can always
+    write ``future = ex.submit_one(...); ... ; future.result()``.
+    """
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, value=None, error: BaseException | None = None):
+        self._value = value
+        self._error = error
+
+    def result(self, timeout: float | None = None):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def done(self) -> bool:
+        return True
+
+
 class ExecutorBase:
     """Common interface: a named ``parallel_for`` implementation."""
 
@@ -65,11 +88,61 @@ class ExecutorBase:
                      threads: int | None = None) -> list[R]:
         raise NotImplementedError
 
+    def submit_one(self, func: Callable[..., R], *args):
+        """Submit a single task; returns a future-like with ``result()``.
+
+        The base implementation runs inline (serial semantics).  Used
+        by the out-of-core slab streamer to prefetch the next slab's
+        disk read while the parent computes on the current one.
+        """
+        try:
+            return _ImmediateResult(func(*args))
+        except BaseException as exc:  # noqa: BLE001 - future semantics
+            return _ImmediateResult(error=exc)
+
     def close(self) -> None:
         """Release pooled resources (idempotent; no-op by default)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class _AsyncSubmitMixin:
+    """``submit_one`` on a small lazy thread pool.
+
+    Slab prefetch is file I/O — ``np.memmap`` open plus page-in — which
+    releases the GIL, so even for the ``process`` executor a *thread* is
+    the right vehicle (array data cannot cheaply cross a process
+    boundary anyway).  The pool is created on first use and torn down in
+    :meth:`close`.
+    """
+
+    _io_pool = None
+    _io_pool_lock: threading.Lock
+
+    def submit_one(self, func, *args):
+        pool = self._io_pool
+        if pool is None:
+            with self._io_pool_lock:
+                pool = self._io_pool
+                if pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+                    pool = ThreadPoolExecutor(
+                        max_workers=2,
+                        thread_name_prefix=f"repro-{self.name}-io")
+                    self._io_pool = pool
+        try:
+            return pool.submit(func, *args)
+        except RuntimeError:
+            # Pool shut down underneath us (interpreter teardown);
+            # degrade to inline execution.
+            return ExecutorBase.submit_one(self, func, *args)
+
+    def _close_io_pool(self) -> None:
+        with self._io_pool_lock:
+            pool, self._io_pool = self._io_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 class SerialExecutor(ExecutorBase):
@@ -81,16 +154,22 @@ class SerialExecutor(ExecutorBase):
         return [func(item) for item in list(items)]
 
 
-class ThreadExecutor(ExecutorBase):
+class ThreadExecutor(_AsyncSubmitMixin, ExecutorBase):
     """The GIL-sharing thread pool (see :mod:`repro.parallel.threadpool`)."""
 
     name = "thread"
 
+    def __init__(self) -> None:
+        self._io_pool_lock = threading.Lock()
+
     def parallel_for(self, func, items, threads=None):
         return _thread_for(func, items, threads=threads)
 
+    def close(self) -> None:
+        self._close_io_pool()
 
-class ProcessExecutor(ExecutorBase):
+
+class ProcessExecutor(_AsyncSubmitMixin, ExecutorBase):
     """Persistent process pool + shared-memory slab offload.
 
     The pool is spawned lazily on first use and kept warm for the
@@ -112,6 +191,7 @@ class ProcessExecutor(ExecutorBase):
         self.fault_plan = fault_plan
         self._pool: ProcessPool | None = None
         self._lock = threading.Lock()
+        self._io_pool_lock = threading.Lock()
 
     def pool(self, workers: int | None = None) -> ProcessPool:
         """The warm pool, grown to at least *workers* processes."""
@@ -151,6 +231,7 @@ class ProcessExecutor(ExecutorBase):
         return _thread_for(func, items, threads=threads)
 
     def close(self) -> None:
+        self._close_io_pool()
         with self._lock:
             if self._pool is not None:
                 self._pool.close()

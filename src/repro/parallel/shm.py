@@ -36,6 +36,7 @@ Cleanup guarantee: ``close()`` (or arena garbage collection, or the
 from __future__ import annotations
 
 import atexit
+import hashlib
 import itertools
 import os
 import re as re_module
@@ -119,8 +120,25 @@ class ShmArena:
         self._arrays: dict[object, np.ndarray] = {}
         self._lock = threading.RLock()
         self.closed = False
-        #: Bytes of shared memory this arena has ever mapped.
+        #: Bytes of shared memory this arena has ever mapped (cumulative).
         self.bytes_mapped = 0
+        #: Bytes of shared memory currently live (mapped minus dropped).
+        self.bytes_live = 0
+        #: Reference count per segment — content-deduplicated groups
+        #: share one segment, which is unlinked only when the last
+        #: group referencing it is dropped.
+        self._segment_refs: dict[str, int] = {}
+        #: Content digest -> (segment name, packed handles) for group
+        #: deduplication: two groups with byte-identical arrays share
+        #: one segment instead of mapping the same bytes twice.
+        self._group_digests: dict[str, tuple[str, dict]] = {}
+        #: Digest of each live group key (for drop/dedup bookkeeping).
+        self._group_digest_of: dict[object, str] = {}
+        #: Segments whose bytes are *also* resident in the out-of-core
+        #: slab budget (``max_bytes_in_core``); excluded from
+        #: :meth:`billable_bytes` so the two budgets compose instead of
+        #: double-counting the same non-zeros.
+        self._shard_segments: set[str] = set()
         _LIVE_ARENAS.add(self)
         self._finalizer = weakref.finalize(self, _finalize_segments,
                                            self._segments)
@@ -136,7 +154,21 @@ class ShmArena:
                 f"ShmArena({self.tag!r}): {exc}") from exc
         self._segments[seg.name] = seg
         self.bytes_mapped += seg.size
+        self.bytes_live += seg.size
+        self._segment_refs[seg.name] = 1
         return seg
+
+    @staticmethod
+    def _group_digest(prepared: dict[str, np.ndarray]) -> str:
+        """Content address of a packed group (names + dtypes + bytes)."""
+        digest = hashlib.sha1()
+        for name, arr in prepared.items():
+            digest.update(name.encode())
+            digest.update(str(arr.dtype).encode())
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.data if arr.flags.c_contiguous
+                          else arr.tobytes())
+        return digest.hexdigest()
 
     def put_group(self, key: object,
                   arrays: dict[str, np.ndarray]) -> dict[str, ShmArrayHandle]:
@@ -144,7 +176,10 @@ class ShmArena:
 
         Contents are copied once (the CSF pattern is static for the
         whole factorization).  Calling again with the same *key* returns
-        the cached handles without re-copying.
+        the cached handles without re-copying, and a *different* key
+        whose arrays are byte-identical to an already-packed group
+        shares that group's segment (content-addressed dedup, refcounted
+        by :meth:`drop_group`) instead of mapping the bytes twice.
         """
         with self._lock:
             self._check_open()
@@ -153,6 +188,18 @@ class ShmArena:
                 return cached  # type: ignore[return-value]
             prepared = {name: np.ascontiguousarray(arr)
                         for name, arr in arrays.items()}
+            digest = self._group_digest(prepared)
+            dedup = self._group_digests.get(digest)
+            if dedup is not None and dedup[0] in self._segments:
+                seg_name, handles = dedup
+                self._segment_refs[seg_name] += 1
+                seg = self._segments[seg_name]
+                for name, handle in handles.items():
+                    self._arrays[("group", key, name)] = _view(seg.buf,
+                                                               handle)
+                self._handles[("group", key)] = handles  # type: ignore[assignment]
+                self._group_digest_of[key] = digest
+                return handles
             total = 0
             for arr in prepared.values():
                 total = -(-total // _ALIGN) * _ALIGN + arr.nbytes
@@ -169,7 +216,66 @@ class ShmArena:
                 self._arrays[("group", key, name)] = view
                 offset += arr.nbytes
             self._handles[("group", key)] = handles  # type: ignore[assignment]
+            self._group_digests[digest] = (seg.name, handles)
+            self._group_digest_of[key] = digest
             return handles
+
+    def drop_group(self, key: object) -> None:
+        """Release the group under *key* (refcounted; no-op if absent).
+
+        The shared segment is unlinked only when the last group
+        referencing it is dropped — content-deduplicated siblings keep
+        it alive.
+        """
+        with self._lock:
+            handles = self._handles.pop(("group", key), None)
+            if handles is None:
+                return
+            for name in list(handles):
+                self._arrays.pop(("group", key, name), None)
+            digest = self._group_digest_of.pop(key, None)
+            seg_name = next(iter(handles.values())).segment
+            refs = self._segment_refs.get(seg_name, 1) - 1
+            if refs > 0:
+                self._segment_refs[seg_name] = refs
+                return
+            if digest is not None:
+                self._group_digests.pop(digest, None)
+            self._drop_segment(seg_name)
+
+    # -- shard-residency accounting ------------------------------------
+    def mark_shard_resident(self, key: object,
+                            resident: bool = True) -> None:
+        """Flag the group under *key* as backed by out-of-core slab bytes.
+
+        A shard-resident group's bytes are already counted against the
+        slab cache's ``max_bytes_in_core`` (the shared copy exists only
+        so workers can attach); :meth:`billable_bytes` excludes them so
+        the shm budget and the slab budget compose instead of charging
+        the same non-zeros twice.
+        """
+        with self._lock:
+            handles = self._handles.get(("group", key))
+            if handles is None:
+                return
+            seg_name = next(iter(handles.values())).segment
+            if resident:
+                self._shard_segments.add(seg_name)
+            else:
+                self._shard_segments.discard(seg_name)
+
+    @property
+    def shard_resident_bytes(self) -> int:
+        """Live bytes whose contents the slab budget already accounts for."""
+        with self._lock:
+            return sum(self._segments[name].size
+                       for name in self._shard_segments
+                       if name in self._segments)
+
+    def billable_bytes(self) -> int:
+        """Live shared bytes chargeable to the shm budget alone."""
+        with self._lock:
+            return self.bytes_live - self.shard_resident_bytes
 
     def allocate(self, key: object, shape: tuple[int, ...],
                  dtype: np.dtype) -> np.ndarray:
@@ -224,6 +330,12 @@ class ShmArena:
         for k in stale:
             self._handles.pop(k, None)
             self._arrays.pop(k, None)
+        self.bytes_live -= seg.size
+        self._segment_refs.pop(name, None)
+        self._shard_segments.discard(name)
+        for digest, (seg_name, _) in list(self._group_digests.items()):
+            if seg_name == name:
+                self._group_digests.pop(digest, None)
         _release_segment(seg)
 
     def _check_open(self) -> None:
@@ -238,6 +350,11 @@ class ShmArena:
             self.closed = True
             self._arrays.clear()
             self._handles.clear()
+            self._segment_refs.clear()
+            self._group_digests.clear()
+            self._group_digest_of.clear()
+            self._shard_segments.clear()
+            self.bytes_live = 0
             segments, self._segments = dict(self._segments), {}
             self._finalizer.detach()
         for seg in segments.values():

@@ -105,8 +105,18 @@ def options_fingerprint(options: AOADMMOptions) -> dict:
     return fp
 
 
-def tensor_fingerprint(tensor: COOTensor) -> dict:
-    """Shape, nnz, and a content hash of the tensor being factorized."""
+def tensor_fingerprint(tensor) -> dict:
+    """Shape, nnz, and a content hash of the tensor being factorized.
+
+    Sources that know their own identity (the sharded store froze the
+    originating COO's digest at ``create()`` time) answer directly —
+    that keeps checkpoints interchangeable between an in-core run and
+    an out-of-core run over the same non-zeros, without ever pulling
+    the store's slabs into memory here.
+    """
+    own = getattr(tensor, "fingerprint", None)
+    if callable(own):
+        return own()
     return {"shape": list(tensor.shape), "nnz": int(tensor.nnz),
             "sha1": array_fingerprint(tensor.coords, tensor.vals)}
 

@@ -15,6 +15,8 @@ from .random import (
     noisy_lowrank_coo,
 )
 from .io import load_tns, read_tns, save_tns, write_tns
+from .store import ShardedTensorStore, open_tensor, resolve_byte_budget
+from .ooc import SlabCache, SlabStreamer
 from .stats import TensorStats, compute_stats
 
 __all__ = [
@@ -36,6 +38,11 @@ __all__ = [
     "write_tns",
     "load_tns",
     "save_tns",
+    "ShardedTensorStore",
+    "open_tensor",
+    "resolve_byte_budget",
+    "SlabCache",
+    "SlabStreamer",
     "TensorStats",
     "compute_stats",
 ]

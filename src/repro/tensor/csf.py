@@ -188,6 +188,23 @@ class CSFTensor:
             total += arr.nbytes
         return total
 
+    def norm_squared(self) -> float:
+        """Squared Frobenius norm, summed in leaf (lex-sorted) order.
+
+        Part of the :class:`~repro.types.TensorSource` surface.  The
+        leaves are a permutation of the originating COO values, so the
+        floating-point sum can differ from the COO's in the last ulp;
+        pipelines that need the trace bit-identical across backends
+        evaluate ``norm_squared()`` once on the canonical source (the
+        drivers do, and the sharded store freezes the COO's value in
+        its metadata).
+        """
+        return float(np.dot(self.vals, self.vals))
+
+    def norm(self) -> float:
+        """Frobenius norm (square root of :meth:`norm_squared`)."""
+        return float(np.sqrt(np.dot(self.vals, self.vals)))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sizes = "/".join(str(self.nnodes(l)) for l in range(self.nmodes))
         return (f"CSFTensor(shape={self.shape}, order={self.mode_order}, "

@@ -3,6 +3,12 @@
 The FROSTT text format stores one non-zero per line: ``i_1 i_2 ... i_N value``
 with **1-based** indices.  Comment lines start with ``#``.  Files may be
 gzip-compressed (detected by the ``.gz`` suffix).
+
+Parsing streams the file in bounded line chunks (:data:`READ_CHUNK_LINES`
+at a time), so converting a large ``.tns`` into shards never holds the
+whole *text* in memory — only the growing numeric arrays.  Each chunk
+goes through the same ``np.loadtxt`` float parser the monolithic reader
+used, so parsed values are bit-identical regardless of chunking.
 """
 
 from __future__ import annotations
@@ -18,6 +24,10 @@ from ..types import INDEX_DTYPE, VALUE_DTYPE
 from ..validation import require
 from .coo import COOTensor
 
+#: Lines parsed per chunk by :func:`read_tns`.  Bounds peak text-buffer
+#: memory at roughly ``chunk * average_line_length`` bytes.
+READ_CHUNK_LINES = 262_144
+
 
 def _open_text(path: Path, mode: str):
     if path.suffix == ".gz":
@@ -25,8 +35,23 @@ def _open_text(path: Path, mode: str):
     return open(path, mode)
 
 
+def _iter_data_chunks(handle, chunk_lines: int):
+    """Yield lists of non-comment, non-blank lines, at most *chunk_lines* each."""
+    chunk: list[str] = []
+    for line in handle:
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        chunk.append(line)
+        if len(chunk) >= chunk_lines:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def read_tns(path: str | Path,
-             shape: Sequence[int] | None = None) -> COOTensor:
+             shape: Sequence[int] | None = None,
+             chunk_lines: int = READ_CHUNK_LINES) -> COOTensor:
     """Read a FROSTT ``.tns`` file into a :class:`COOTensor`.
 
     Parameters
@@ -34,33 +59,59 @@ def read_tns(path: str | Path,
     shape:
         Optional explicit shape.  When omitted, extents are inferred as the
         per-mode maximum index.
+    chunk_lines:
+        Lines parsed per streaming chunk (memory/SYSCALL trade-off; the
+        parsed tensor is bit-identical for any value).
     """
     path = Path(path)
+    require(chunk_lines >= 1, "chunk_lines must be positive")
+    coord_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    ncols: int | None = None
     with _open_text(path, "r") as handle:
-        lines = [line for line in handle
-                 if line.strip() and not line.lstrip().startswith("#")]
-    if lines:
-        data = np.loadtxt(lines, dtype=np.float64, ndmin=2)
-    else:
-        data = np.empty((0, 0))
-    if data.size == 0:
+        for chunk in _iter_data_chunks(handle, chunk_lines):
+            data = np.loadtxt(chunk, dtype=np.float64, ndmin=2)
+            if ncols is None:
+                ncols = data.shape[1]
+                require(ncols >= 2, f"{path}: lines need >= 2 columns")
+            else:
+                require(data.shape[1] == ncols,
+                        f"{path}: inconsistent column count "
+                        f"({data.shape[1]} after {ncols})")
+            nmodes = ncols - 1
+            coord_parts.append(
+                data[:, :nmodes].T.astype(INDEX_DTYPE) - 1)  # 1-based
+            val_parts.append(
+                np.ascontiguousarray(data[:, nmodes], dtype=VALUE_DTYPE))
+    if ncols is None:
         require(shape is not None,
                 "cannot infer the shape of an empty tensor file")
         nmodes = len(shape)  # type: ignore[arg-type]
         return COOTensor(np.empty((nmodes, 0), dtype=INDEX_DTYPE),
                          np.empty(0, dtype=VALUE_DTYPE), shape)
-    nmodes = data.shape[1] - 1
-    require(nmodes >= 1, f"{path}: lines need >= 2 columns")
-    coords = data[:, :nmodes].T.astype(INDEX_DTYPE) - 1  # 1-based on disk
-    vals = np.ascontiguousarray(data[:, nmodes], dtype=VALUE_DTYPE)
+    coords = (coord_parts[0] if len(coord_parts) == 1
+              else np.concatenate(coord_parts, axis=1))
+    vals = (val_parts[0] if len(val_parts) == 1
+            else np.concatenate(val_parts))
     if shape is None:
         shape = tuple(int(c.max()) + 1 for c in coords)
-    return COOTensor(coords, vals, shape)
+    return COOTensor(np.ascontiguousarray(coords), vals, shape)
 
 
-def write_tns(tensor: COOTensor, path: str | Path,
+def write_tns(tensor, path: str | Path,
               header: str | None = None) -> Path:
-    """Write a :class:`COOTensor` to a FROSTT ``.tns`` file (1-based)."""
+    """Write a tensor to a FROSTT ``.tns`` file (1-based indices).
+
+    Accepts a :class:`COOTensor` directly; any other
+    :class:`~repro.types.TensorSource` (CSF tree, sharded store) is
+    expanded through its ``to_coo()``.
+    """
+    if not isinstance(tensor, COOTensor):
+        to_coo = getattr(tensor, "to_coo", None)
+        require(callable(to_coo),
+                f"cannot write {type(tensor).__name__} as .tns "
+                "(no to_coo conversion)")
+        tensor = to_coo()
     path = Path(path)
     with _open_text(path, "w") as handle:
         if header:
@@ -75,7 +126,21 @@ def write_tns(tensor: COOTensor, path: str | Path,
     return path
 
 
-#: Preferred public names — ``repro.load_tns`` / ``repro.save_tns`` read
-#: better at the call site than the historical read/write spellings.
-load_tns = read_tns
+def load_tns(path: str | Path, max_bytes_in_core: int | None = None,
+             shape: Sequence[int] | None = None):
+    """Open *path* through the unified ``open_tensor`` front door.
+
+    Returns an in-core :class:`COOTensor` by default; with
+    ``max_bytes_in_core`` (or ``REPRO_MAX_BYTES_IN_CORE`` in the
+    environment) the tensor is sharded to a temporary on-disk store and
+    returned as a budget-bounded
+    :class:`~repro.tensor.store.ShardedTensorStore`.  *path* may also
+    name an existing store directory.
+    """
+    from .store import open_tensor
+    return open_tensor(path, max_bytes_in_core=max_bytes_in_core,
+                       shape=shape)
+
+
+#: Preferred public save spelling — pairs with :func:`load_tns`.
 save_tns = write_tns

@@ -1,0 +1,467 @@
+"""Out-of-core sharded tensor store (`ROADMAP` item 1).
+
+A :class:`ShardedTensorStore` is the on-disk twin of the in-core
+ALLMODE engine state: for every mode it persists the mode-rooted CSF
+tree, pre-split into the **same nnz-balanced root-slice slabs** the
+in-core tiled kernels use (:class:`repro.tensor.tiling.CSFTiling` over
+:func:`repro.parallel.partition.balanced_chunks`).  Each slab is one
+packed binary file of 64-byte-aligned level arrays that
+``numpy.memmap`` maps back lazily, so a fit only ever pages in the
+slabs it is currently sweeping.
+
+Why per-mode trees on disk: the streaming MTTKRP path then always runs
+the **root** kernel, whose slabs write disjoint output rows — no
+nnz-sized scatter buffer has to stay resident, and the per-slab sweep
+is the same monolithic upward sweep the in-core kernels use, so the
+results are **bit-identical** to the in-core engines for any byte
+budget, eviction order, or prefetch schedule (the family contract the
+differential harness enforces).
+
+``meta.json`` carries the tensor-level facts the drivers need without
+touching a single slab: shape, nnz, ``norm_squared`` (stored via
+``repr`` so the JSON round-trip is exact — the relative-error trace
+depends on it bit-for-bit), and the same SHA-1 fingerprint
+:func:`repro.robustness.checkpoint.tensor_fingerprint` computes for
+in-core tensors, so checkpoints interoperate across in-core and
+sharded runs of the same data.
+
+:func:`open_tensor` is the single front door that picks in-core vs.
+out-of-core; see its docstring for the dispatch rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import warnings
+import weakref
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..types import INDEX_DTYPE, VALUE_DTYPE, TensorSource
+from ..validation import check_mode, require
+from .coo import COOTensor
+from .csf import CSFTensor, default_mode_order
+from .tiling import CSFSlab, CSFTiling
+
+STORE_FORMAT = "repro-sharded-tensor"
+STORE_VERSION = 1
+
+#: The manifest file every store directory carries.
+META_FILE = "meta.json"
+
+#: Offset alignment of arrays inside a slab file (cache-line friendly,
+#: and safe for any dtype's alignment requirement under memmap).
+_ALIGN = 64
+
+#: Environment variable supplying a default in-core byte budget.
+BUDGET_ENV_VAR = "REPRO_MAX_BYTES_IN_CORE"
+
+#: Name prefix of store directories created implicitly by
+#: :func:`open_tensor` (leak-check key, mirroring ``repro_shm_``).
+TEMP_SHARD_PREFIX = "repro_shards_"
+
+
+def _fingerprint_arrays(*arrays: np.ndarray) -> str:
+    """Order-sensitive SHA-1 over raw array bytes.
+
+    Byte-for-byte the same digest as
+    :func:`repro.core.serialize.array_fingerprint` (re-implemented here
+    to keep the tensor layer import-independent of the core layer);
+    ``tests/test_store.py`` pins the two together.
+    """
+    digest = hashlib.sha1()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def resolve_byte_budget(max_bytes_in_core: int | None = None) -> int | None:
+    """An explicit byte budget, else ``REPRO_MAX_BYTES_IN_CORE``, else None.
+
+    A malformed environment value warns and is ignored (same contract
+    as ``REPRO_EXECUTOR`` / ``REPRO_NUM_THREADS``: a typo in a shell
+    profile must not crash library calls).
+    """
+    if max_bytes_in_core is not None:
+        budget = int(max_bytes_in_core)
+        require(budget >= 1, "max_bytes_in_core must be positive")
+        return budget
+    raw = os.environ.get(BUDGET_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+        if budget < 1:
+            raise ValueError(budget)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {BUDGET_ENV_VAR}={raw!r} "
+            "(need a positive integer byte count)",
+            RuntimeWarning, stacklevel=2)
+        return None
+    return budget
+
+
+class ShardedTensorStore:
+    """A sparse tensor sharded into per-mode CSF slab files on disk.
+
+    Satisfies :class:`repro.types.TensorSource`; build with
+    :meth:`create`, reopen with :meth:`open` (or via
+    :func:`open_tensor`).  All index/value bytes live on disk; the
+    resident-set policy (LRU under ``max_bytes_in_core``) is the
+    streaming engine's job (:mod:`repro.tensor.ooc`), not the store's —
+    the store only maps slabs on demand.
+    """
+
+    def __init__(self, path: Path, meta: dict,
+                 max_bytes_in_core: int | None = None,
+                 cleanup_root: "Path | None" = None):
+        self.path = Path(path)
+        self.meta = meta
+        #: Default in-core byte budget a streaming engine over this
+        #: store should honor (``None`` = no eviction pressure).
+        self.max_bytes_in_core = max_bytes_in_core
+        self.closed = False
+        self._cleanup_root = cleanup_root
+        if cleanup_root is not None:
+            # An implicitly created temp store cleans up after itself
+            # even when close() is never called.
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, str(cleanup_root), True)
+        else:
+            self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, tensor: COOTensor, path: "str | Path",
+               slab_nnz_target: int | None = None,
+               cleanup_root: "Path | None" = None) -> "ShardedTensorStore":
+        """Shard *tensor* into a new store directory at *path*.
+
+        One mode-rooted CSF tree per mode (the ALLMODE policy the
+        in-core engine uses), each split by :class:`CSFTiling` into the
+        nnz-balanced slabs that become the unit of disk I/O, residency,
+        and eviction.  The directory must not already contain a store.
+        """
+        require(isinstance(tensor, COOTensor),
+                "ShardedTensorStore.create shards a COOTensor")
+        path = Path(path)
+        require(not (path / META_FILE).exists(),
+                f"{path} already contains a sharded tensor store")
+        path.mkdir(parents=True, exist_ok=True)
+        modes_meta = []
+        for mode in range(tensor.nmodes):
+            order = default_mode_order(tensor.nmodes, mode)
+            csf = CSFTensor.from_coo(tensor, mode_order=order)
+            tiling = CSFTiling(csf, slab_nnz_target=slab_nnz_target)
+            mode_dir = path / f"mode{mode}"
+            mode_dir.mkdir(exist_ok=True)
+            slabs_meta = []
+            for slab in tiling:
+                rel = f"mode{mode}/slab{slab.index:05d}.bin"
+                slabs_meta.append(_write_slab(path / rel, rel, slab))
+            modes_meta.append({
+                "mode": mode,
+                "mode_order": list(order),
+                "slabs": slabs_meta,
+            })
+        meta = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "shape": list(tensor.shape),
+            "nnz": int(tensor.nnz),
+            # json emits repr(float); repr round-trips doubles exactly,
+            # so norm_squared() stays bit-identical to the in-core one.
+            "norm_squared": tensor.norm_squared(),
+            "fingerprint": {
+                "shape": list(tensor.shape),
+                "nnz": int(tensor.nnz),
+                "sha1": _fingerprint_arrays(tensor.coords, tensor.vals),
+            },
+            "slab_nnz_target": slab_nnz_target,
+            "modes": modes_meta,
+        }
+        with open(path / META_FILE, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=1)
+        return cls(path, meta, cleanup_root=cleanup_root)
+
+    @classmethod
+    def open(cls, path: "str | Path",
+             max_bytes_in_core: int | None = None) -> "ShardedTensorStore":
+        """Open an existing store directory."""
+        path = Path(path)
+        meta_path = path / META_FILE
+        require(meta_path.is_file(),
+                f"{path} is not a sharded tensor store (no {META_FILE})")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        require(meta.get("format") == STORE_FORMAT,
+                f"{path}: unrecognized store format {meta.get('format')!r}")
+        require(int(meta.get("version", 0)) <= STORE_VERSION,
+                f"{path}: store version {meta.get('version')} is newer "
+                f"than this library understands ({STORE_VERSION})")
+        return cls(path, meta,
+                   max_bytes_in_core=resolve_byte_budget(max_bytes_in_core))
+
+    @staticmethod
+    def is_store(path: "str | Path") -> bool:
+        """Whether *path* is a store directory (has a manifest)."""
+        return (Path(path) / META_FILE).is_file()
+
+    # ------------------------------------------------------------------
+    # TensorSource surface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(int(s) for s in self.meta["shape"])
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.meta["shape"])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.meta["nnz"])
+
+    def norm_squared(self) -> float:
+        """Squared Frobenius norm (bit-identical to the source tensor's)."""
+        return float(self.meta["norm_squared"])
+
+    def norm(self) -> float:
+        """Frobenius norm."""
+        return float(np.sqrt(self.norm_squared()))
+
+    def fingerprint(self) -> dict:
+        """The checkpoint-layer tensor fingerprint (shape, nnz, SHA-1).
+
+        Equal to ``tensor_fingerprint(coo)`` of the tensor this store
+        was created from, so checkpoints written by an in-core run
+        resume against the sharded store and vice versa.
+        """
+        fp = self.meta["fingerprint"]
+        return {"shape": list(fp["shape"]), "nnz": int(fp["nnz"]),
+                "sha1": fp["sha1"]}
+
+    # ------------------------------------------------------------------
+    # Slab access
+    # ------------------------------------------------------------------
+    def mode_order(self, mode: int) -> tuple[int, ...]:
+        """Mode order of the tree rooted at *mode*."""
+        mode = check_mode(mode, self.nmodes)
+        return tuple(self.meta["modes"][mode]["mode_order"])
+
+    def slab_count(self, mode: int) -> int:
+        mode = check_mode(mode, self.nmodes)
+        return len(self.meta["modes"][mode]["slabs"])
+
+    def slab_meta(self, mode: int, index: int) -> dict:
+        mode = check_mode(mode, self.nmodes)
+        return self.meta["modes"][mode]["slabs"][index]
+
+    def slab_nbytes(self, mode: int, index: int) -> int:
+        """On-disk (== resident) bytes of one slab's arrays."""
+        return int(self.slab_meta(mode, index)["nbytes"])
+
+    def load_slab(self, mode: int, index: int) -> CSFSlab:
+        """Map one slab back as a :class:`CSFSlab` over memmapped arrays.
+
+        The returned arrays are read-only ``np.memmap`` views — pages
+        fault in lazily and are released when the slab object is
+        dropped (which is exactly what the LRU eviction in
+        :class:`repro.tensor.ooc.SlabCache` does).
+        """
+        self._check_open()
+        smeta = self.slab_meta(mode, index)
+        mm = np.memmap(self.path / smeta["file"], dtype=np.uint8, mode="r")
+        arrays = {}
+        for name, spec in smeta["arrays"].items():
+            count = int(np.prod(spec["shape"], dtype=np.int64))
+            arrays[name] = np.frombuffer(
+                mm, dtype=np.dtype(spec["dtype"]), count=count,
+                offset=int(spec["offset"])).reshape(spec["shape"])
+        nmodes = self.nmodes
+        tree = CSFTensor(
+            self.shape, self.mode_order(mode),
+            [arrays[f"fids{level}"] for level in range(nmodes)],
+            [arrays[f"fptr{level}"] for level in range(nmodes - 1)],
+            arrays["vals"])
+        node_ranges = tuple((int(lo), int(hi))
+                            for lo, hi in smeta["node_ranges"])
+        return CSFSlab(int(smeta["index"]), tree, node_ranges)
+
+    def iter_slabs(self, mode: int):
+        """Yield every slab of *mode* in index order (no caching)."""
+        for index in range(self.slab_count(mode)):
+            yield self.load_slab(mode, index)
+
+    # ------------------------------------------------------------------
+    # Whole-tensor queries (conversion / tests — not the streaming path)
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOTensor:
+        """Materialize the whole tensor in core (lex-sorted by mode 0).
+
+        For conversion and testing; the factorization path never calls
+        this.
+        """
+        self._check_open()
+        coords_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        for slab in self.iter_slabs(0):
+            coo = slab.tree.to_coo()
+            coords_parts.append(coo.coords)
+            vals_parts.append(coo.vals)
+        if not coords_parts:
+            return COOTensor(np.empty((self.nmodes, 0), dtype=INDEX_DTYPE),
+                             np.empty(0, dtype=VALUE_DTYPE), self.shape)
+        return COOTensor(np.concatenate(coords_parts, axis=1),
+                         np.concatenate(vals_parts), self.shape)
+
+    def storage_bytes(self) -> int:
+        """Total slab bytes on disk (== the full in-core CSF footprint)."""
+        return sum(int(s["nbytes"])
+                   for m in self.meta["modes"] for s in m["slabs"])
+
+    def slab_files(self) -> list[Path]:
+        """Every slab file of the store (leak-check support)."""
+        return [self.path / s["file"]
+                for m in self.meta["modes"] for s in m["slabs"]]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        require(not self.closed, "sharded tensor store is closed")
+
+    def close(self) -> None:
+        """Close the store; removes the directory when it owns a temp one.
+
+        Idempotent.  Stores opened on user-provided paths are left on
+        disk; stores :func:`open_tensor` implicitly created in a temp
+        directory are deleted — the "no leaked shard files" guarantee.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self._cleanup_root is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            shutil.rmtree(self._cleanup_root, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedTensorStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedTensorStore(path={str(self.path)!r}, "
+                f"shape={self.shape}, nnz={self.nnz}, "
+                f"bytes={self.storage_bytes()})")
+
+
+def _write_slab(file_path: Path, rel: str, slab: CSFSlab) -> dict:
+    """Pack one slab's level arrays into an aligned binary file."""
+    arrays = slab.tree.buffers()
+    manifest: dict[str, dict] = {}
+    offset = 0
+    with open(file_path, "wb") as handle:
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            aligned = -(-offset // _ALIGN) * _ALIGN
+            if aligned > offset:
+                handle.write(b"\0" * (aligned - offset))
+            manifest[name] = {
+                "offset": aligned,
+                "shape": [int(s) for s in arr.shape],
+                "dtype": arr.dtype.str,
+            }
+            handle.write(arr.tobytes())
+            offset = aligned + arr.nbytes
+    return {
+        "index": slab.index,
+        "file": rel,
+        "nnz": int(slab.nnz),
+        "nbytes": int(sum(np.prod(s["shape"], dtype=np.int64)
+                          * np.dtype(s["dtype"]).itemsize
+                          for s in manifest.values())),
+        "node_ranges": [[int(lo), int(hi)]
+                        for lo, hi in slab.node_ranges],
+        "arrays": manifest,
+    }
+
+
+# ----------------------------------------------------------------------
+# The unified front door
+# ----------------------------------------------------------------------
+def open_tensor(source: "str | Path | TensorSource",
+                max_bytes_in_core: int | None = None,
+                shard_dir: "str | Path | None" = None,
+                slab_nnz_target: int | None = None,
+                shape: Sequence[int] | None = None) -> TensorSource:
+    """Open *source* as a :class:`~repro.types.TensorSource`.
+
+    The single entry point behind ``repro.fit(path_or_tensor, ...)``
+    and ``repro.load_tns``.  Dispatch rules:
+
+    * a **store directory** (contains ``meta.json``) opens as a
+      :class:`ShardedTensorStore` carrying the byte budget;
+    * a **``.tns`` / ``.tns.gz`` file** reads in-core
+      (:class:`~repro.tensor.coo.COOTensor`) when no byte budget is in
+      effect, and is sharded into a store when one is — into
+      *shard_dir* when given, else a self-cleaning temp directory the
+      returned store removes on ``close()``;
+    * an existing **tensor object** (COO/CSF/store) passes through
+      unchanged — unless it is a ``COOTensor`` and a byte budget is in
+      effect, in which case it is sharded the same way.
+
+    The byte budget is *max_bytes_in_core* when given, else the
+    ``REPRO_MAX_BYTES_IN_CORE`` environment variable, else none.
+    """
+    budget = resolve_byte_budget(max_bytes_in_core)
+    if isinstance(source, ShardedTensorStore):
+        if budget is not None:
+            source.max_bytes_in_core = budget
+        return source
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if ShardedTensorStore.is_store(path):
+            return ShardedTensorStore.open(path, max_bytes_in_core=budget)
+        require(path.is_file(),
+                f"{path} is neither a tensor file nor a store directory")
+        from .io import read_tns
+        tensor: TensorSource = read_tns(path, shape=shape)
+        if budget is None:
+            return tensor
+        return _shard_in_core(tensor, budget, shard_dir, slab_nnz_target)
+    require(isinstance(source, TensorSource),
+            f"cannot open {type(source).__name__!r} as a tensor: need a "
+            "path, a COOTensor/CSFTensor, or a ShardedTensorStore")
+    if budget is not None and isinstance(source, COOTensor):
+        return _shard_in_core(source, budget, shard_dir, slab_nnz_target)
+    return source
+
+
+def _shard_in_core(tensor: COOTensor, budget: int,
+                   shard_dir: "str | Path | None",
+                   slab_nnz_target: int | None) -> ShardedTensorStore:
+    if shard_dir is not None:
+        store = ShardedTensorStore.create(
+            tensor, shard_dir, slab_nnz_target=slab_nnz_target)
+    else:
+        tmp = Path(tempfile.mkdtemp(prefix=TEMP_SHARD_PREFIX))
+        store = ShardedTensorStore.create(
+            tensor, tmp / "store",
+            slab_nnz_target=slab_nnz_target, cleanup_root=tmp)
+    store.max_bytes_in_core = budget
+    return store

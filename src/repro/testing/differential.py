@@ -207,6 +207,35 @@ def _engine_backend(tensor: COOTensor, *, repr_policy: str,
     return kernel
 
 
+def _sharded_backend(tensor: COOTensor,
+                     max_bytes_in_core: int | None) -> Callable:
+    """Out-of-core grid point: shard to a temp store, stream MTTKRP.
+
+    Joins the ``csf`` family — the store holds the same mode-rooted
+    trees split at root-slice boundaries, so the streamed result is
+    contractually **bitwise** identical to every in-core CSF backend
+    for any byte budget.  The temp shard directory lives until the
+    kernel closure is collected (finalizer-backed), covering the whole
+    sweep over the tensor's modes.
+    """
+    import weakref
+
+    from ..kernels.dispatch import StreamingMTTKRPEngine
+    from ..tensor.store import open_tensor
+
+    # Budget 1 here only forces the shard-to-temp-store path; the
+    # engine budget below is the one under test.
+    store = open_tensor(tensor, max_bytes_in_core=1, slab_nnz_target=32)
+    store.max_bytes_in_core = max_bytes_in_core
+    engine = StreamingMTTKRPEngine(store, executor="serial")
+
+    def kernel(factors: list, mode: int) -> np.ndarray:
+        return np.array(engine.mttkrp(factors, mode), copy=True)
+
+    weakref.finalize(kernel, store.close)
+    return kernel
+
+
 def _distributed_backend(tensor: COOTensor, ranks: int) -> Callable:
     partition = partition_tensor(tensor, ranks)
 
@@ -227,7 +256,9 @@ def mttkrp_backend_specs(threads: Sequence[int] = (1, 2, 4),
                          slab_targets: Sequence[int] = (32, 100_000),
                          distributed_ranks: Sequence[int] = (3,),
                          sparse_factors: bool = True,
-                         executors: Sequence[str] = ()) -> list[BackendSpec]:
+                         executors: Sequence[str] = (),
+                         ooc_budgets: Sequence[int | None] = (None, 4096),
+                         ) -> list[BackendSpec]:
     """The default sweep grid over every MTTKRP execution path.
 
     The tiled backends resolve their executor from the environment
@@ -269,6 +300,14 @@ def mttkrp_backend_specs(threads: Sequence[int] = (1, 2, 4),
             "sparse-csr-h", "sparse-csr-h",
             lambda tensor: _engine_backend(tensor, repr_policy="hybrid",
                                            threads=1, slab_nnz_target=None)))
+    # Out-of-core streaming over a temp sharded store.  Family "csf":
+    # slab residency/eviction is contractually bit-invisible, so every
+    # budget (including a starvation-level one) must match the in-core
+    # CSF anchor bitwise.
+    for b in ooc_budgets:
+        specs.append(BackendSpec(
+            f"sharded[b={b}]", "csf",
+            lambda tensor, b=b: _sharded_backend(tensor, b)))
     for r in distributed_ranks:
         specs.append(BackendSpec(
             f"distributed[ranks={r}]", "distributed",

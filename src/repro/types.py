@@ -12,7 +12,7 @@ Everything here is importable without pulling in heavyweight submodules.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Union
+from typing import Callable, Protocol, Sequence, Union, runtime_checkable
 
 import numpy as np
 
@@ -36,6 +36,38 @@ SeedLike = Union[int, np.random.Generator, None]
 
 #: Callback invoked once per outer AO-ADMM iteration.
 IterationCallback = Callable[..., None]
+
+
+@runtime_checkable
+class TensorSource(Protocol):
+    """What every tensor the drivers can factorize must expose.
+
+    The unifying contract behind the ``repro.open_tensor`` front door:
+    :class:`~repro.tensor.coo.COOTensor` (in-core coordinates),
+    :class:`~repro.tensor.csf.CSFTensor` (in-core compressed fibers) and
+    :class:`~repro.tensor.store.ShardedTensorStore` (out-of-core slabs
+    on disk) all satisfy it, so ``repro.fit`` and the checkpoint layer
+    only ever ask these four questions — *how* the non-zeros are stored
+    (and whether they are resident at all) stays a backend concern.
+
+    ``runtime_checkable`` deliberately checks only member presence; the
+    semantic contract is: ``shape`` is one extent per mode, ``nmodes ==
+    len(shape)``, ``nnz`` counts stored non-zeros, and
+    ``norm_squared()`` returns ``sum(vals**2)`` **bit-identically**
+    across every backend holding the same non-zeros (the relative-error
+    trace depends on it).
+    """
+
+    @property
+    def shape(self) -> tuple[int, ...]: ...
+
+    @property
+    def nmodes(self) -> int: ...
+
+    @property
+    def nnz(self) -> int: ...
+
+    def norm_squared(self) -> float: ...
 
 
 def as_generator(seed: SeedLike) -> np.random.Generator:

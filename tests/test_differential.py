@@ -153,8 +153,10 @@ class TestMTTKRPSweep:
         """The acceptance sweep: ≥20 tensors × full backend grid.
 
         coo, untiled csf, tiled csf over threads {1,2,4} × 2 slab
-        targets (bit-identical family), sparse-factor csr and csr-h,
-        and the distributed shard-sum — all against the dense oracle.
+        targets (bit-identical family), the out-of-core sharded stream
+        at two byte budgets (same bitwise family), sparse-factor csr
+        and csr-h, and the distributed shard-sum — all against the
+        dense oracle.
         """
         cases = tensor_cases(21, seed=TIER1_SEED)
         backends = mttkrp_backend_specs(threads=(1, 2, 4),
@@ -162,6 +164,7 @@ class TestMTTKRPSweep:
                                         distributed_ranks=(3,))
         names = {b.name for b in backends}
         assert {"coo", "csf", "sparse-csr", "sparse-csr-h",
+                "sharded[b=None]", "sharded[b=4096]",
                 "distributed[ranks=3]"} <= names
         assert sum(n.startswith("csf-tiled") for n in names) == 6
         report = run_mttkrp_sweep(cases, rank=4, backends=backends)

@@ -342,5 +342,16 @@ class TestFitFacade:
             repro.options_from_kwargs(bogus=1)
 
     def test_load_tns_alias(self):
-        assert repro.load_tns is repro.read_tns
-        assert repro.save_tns is repro.write_tns
+        # load_tns routes through the unified open_tensor front door;
+        # the historical read/write spellings stay importable but warn.
+        import warnings
+
+        from repro.tensor.io import read_tns, write_tns
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.load_tns is not None
+            assert repro.save_tns is write_tns
+        with pytest.warns(DeprecationWarning, match="open_tensor"):
+            assert repro.read_tns is read_tns
+        with pytest.warns(DeprecationWarning, match="save_tns"):
+            assert repro.write_tns is write_tns

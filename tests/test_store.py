@@ -1,0 +1,242 @@
+"""Sharded tensor store + the unified ``open_tensor`` front door."""
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.serialize import array_fingerprint
+from repro.robustness.checkpoint import tensor_fingerprint
+from repro.tensor import (
+    COOTensor,
+    CSFTensor,
+    ShardedTensorStore,
+    load_tns,
+    open_tensor,
+    random_coo,
+    read_tns,
+    write_tns,
+)
+from repro.tensor.store import BUDGET_ENV_VAR, resolve_byte_budget
+from repro.types import TensorSource
+
+
+def _bitwise_equal(a: COOTensor, b: COOTensor) -> bool:
+    a, b = a.sort_lex(), b.sort_lex()
+    return (a.shape == b.shape
+            and np.array_equal(a.coords, b.coords)
+            and np.array_equal(a.vals, b.vals))
+
+
+@pytest.fixture
+def store(tmp_path, small_tensor):
+    return ShardedTensorStore.create(small_tensor, tmp_path / "store",
+                                     slab_nnz_target=32)
+
+
+class TestStoreRoundTrip:
+    def test_create_then_to_coo_bitwise(self, store, small_tensor):
+        assert _bitwise_equal(store.to_coo(), small_tensor)
+
+    def test_reopen_from_disk(self, tmp_path, store, small_tensor):
+        reopened = ShardedTensorStore.open(tmp_path / "store")
+        assert reopened.shape == small_tensor.shape
+        assert reopened.nnz == small_tensor.nnz
+        assert _bitwise_equal(reopened.to_coo(), small_tensor)
+
+    def test_norm_squared_bitwise(self, store, small_tensor):
+        # repr round-trips doubles exactly through meta.json.
+        assert store.norm_squared() == small_tensor.norm_squared()
+        reopened = ShardedTensorStore.open(store.path)
+        assert reopened.norm_squared() == small_tensor.norm_squared()
+
+    def test_fingerprint_matches_checkpoint_layer(self, store, small_tensor):
+        assert store.fingerprint() == tensor_fingerprint(small_tensor)
+        # Pin the store's internal digest to the core serializer's.
+        assert store.fingerprint()["sha1"] == array_fingerprint(
+            small_tensor.coords, small_tensor.vals)
+
+    def test_slabs_are_nnz_partition(self, store, small_tensor):
+        for mode in range(store.nmodes):
+            total = sum(store.slab_meta(mode, i)["nnz"]
+                        for i in range(store.slab_count(mode)))
+            assert total == small_tensor.nnz
+            assert store.slab_count(mode) > 1  # target 32 on 140 nnz
+
+    def test_slab_arrays_are_readonly_maps(self, store):
+        slab = store.load_slab(0, 0)
+        assert not slab.tree.vals.flags.writeable
+
+    def test_storage_and_slab_files(self, store):
+        files = store.slab_files()
+        assert all(f.is_file() for f in files)
+        assert store.storage_bytes() == sum(
+            store.slab_nbytes(m, i) for m in range(store.nmodes)
+            for i in range(store.slab_count(m)))
+
+    def test_create_refuses_existing_store(self, tmp_path, store,
+                                           small_tensor):
+        with pytest.raises(ValueError, match="already contains"):
+            ShardedTensorStore.create(small_tensor, tmp_path / "store")
+
+    def test_closed_store_rejects_slab_access(self, store):
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.load_slab(0, 0)
+
+    def test_close_keeps_user_directory(self, tmp_path, store):
+        store.close()
+        assert (tmp_path / "store" / "meta.json").is_file()
+
+
+class TestTensorSourceProtocol:
+    def test_all_sources_satisfy_protocol(self, store, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        for src in (small_tensor, csf, store):
+            assert isinstance(src, TensorSource)
+            assert src.shape == small_tensor.shape
+            assert src.nnz == small_tensor.nnz
+            assert np.isfinite(src.norm_squared())
+
+    def test_csf_norm_close_to_coo(self, small_tensor):
+        csf = CSFTensor.from_coo(small_tensor)
+        # Leaf-order summation: equal to the last ulp or two, not
+        # contractually bitwise (the store freezes the COO value).
+        assert csf.norm_squared() == pytest.approx(
+            small_tensor.norm_squared(), rel=1e-15)
+        assert csf.norm() == pytest.approx(small_tensor.norm(), rel=1e-15)
+
+
+class TestOpenTensor:
+    def test_tns_file_opens_in_core(self, tmp_path, small_tensor,
+                                    monkeypatch):
+        monkeypatch.delenv(BUDGET_ENV_VAR, raising=False)
+        path = write_tns(small_tensor, tmp_path / "t.tns")
+        opened = open_tensor(path)
+        assert isinstance(opened, COOTensor)
+        assert opened == small_tensor
+
+    def test_store_directory_opens_as_store(self, tmp_path, store):
+        opened = open_tensor(tmp_path / "store")
+        assert isinstance(opened, ShardedTensorStore)
+        assert opened.nnz == store.nnz
+
+    def test_budget_shards_file_to_temp_store(self, tmp_path, small_tensor):
+        path = write_tns(small_tensor, tmp_path / "t.tns")
+        opened = open_tensor(path, max_bytes_in_core=4096)
+        assert isinstance(opened, ShardedTensorStore)
+        assert opened.max_bytes_in_core == 4096
+        shard_root = opened.path
+        assert shard_root.exists()
+        opened.close()
+        assert not shard_root.exists()  # temp shards self-clean
+
+    def test_budget_shards_in_core_tensor(self, small_tensor):
+        with open_tensor(small_tensor, max_bytes_in_core=1) as opened:
+            assert isinstance(opened, ShardedTensorStore)
+            assert _bitwise_equal(opened.to_coo(), small_tensor)
+
+    def test_shard_dir_is_respected_and_kept(self, tmp_path, small_tensor):
+        opened = open_tensor(small_tensor, max_bytes_in_core=1,
+                             shard_dir=tmp_path / "shards")
+        assert opened.path == tmp_path / "shards"
+        opened.close()
+        assert (tmp_path / "shards" / "meta.json").is_file()
+
+    def test_tensor_objects_pass_through(self, small_tensor, store,
+                                         monkeypatch):
+        monkeypatch.delenv(BUDGET_ENV_VAR, raising=False)
+        assert open_tensor(small_tensor) is small_tensor
+        csf = CSFTensor.from_coo(small_tensor)
+        assert open_tensor(csf) is csf
+        assert open_tensor(store) is store
+
+    def test_budget_env_var(self, monkeypatch, small_tensor):
+        monkeypatch.setenv(BUDGET_ENV_VAR, "2048")
+        assert resolve_byte_budget() == 2048
+        with open_tensor(small_tensor) as opened:
+            assert isinstance(opened, ShardedTensorStore)
+            assert opened.max_bytes_in_core == 2048
+
+    def test_malformed_env_var_warns_and_ignores(self, monkeypatch,
+                                                 small_tensor):
+        monkeypatch.setenv(BUDGET_ENV_VAR, "lots")
+        with pytest.warns(RuntimeWarning, match=BUDGET_ENV_VAR):
+            assert resolve_byte_budget() is None
+
+    def test_rejects_non_tensor(self):
+        with pytest.raises(ValueError, match="cannot open"):
+            open_tensor(object())
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="neither"):
+            open_tensor(tmp_path / "nope.tns")
+
+
+class TestIoFrontDoor:
+    def test_load_tns_routes_through_open_tensor(self, tmp_path,
+                                                 small_tensor, monkeypatch):
+        monkeypatch.delenv(BUDGET_ENV_VAR, raising=False)
+        path = write_tns(small_tensor, tmp_path / "t.tns")
+        assert load_tns(path) == small_tensor
+        with load_tns(path, max_bytes_in_core=4096) as store:
+            assert isinstance(store, ShardedTensorStore)
+
+    def test_read_tns_chunking_bit_identical(self, tmp_path):
+        tensor = random_coo((40, 30, 20), 700, seed=13)
+        path = write_tns(tensor, tmp_path / "t.tns")
+        whole = read_tns(path)
+        chunked = read_tns(path, chunk_lines=7)
+        assert np.array_equal(whole.coords, chunked.coords)
+        assert np.array_equal(whole.vals, chunked.vals)
+
+    def test_write_tns_accepts_any_source(self, tmp_path, store,
+                                          small_tensor):
+        path = write_tns(store, tmp_path / "from_store.tns")
+        assert _bitwise_equal(read_tns(path).sort_lex(),
+                              small_tensor.sort_lex())
+
+    def test_deprecated_top_level_shims(self):
+        with pytest.warns(DeprecationWarning, match="open_tensor"):
+            assert repro.read_tns is read_tns
+        with pytest.warns(DeprecationWarning, match="save_tns"):
+            assert repro.write_tns is write_tns
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.load_tns is load_tns
+            assert repro.open_tensor is open_tensor
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+
+
+class TestFitFrontDoor:
+    def test_fit_accepts_path(self, tmp_path, small_tensor):
+        path = write_tns(small_tensor, tmp_path / "t.tns")
+        direct = repro.fit(small_tensor, rank=3, seed=0,
+                           max_outer_iterations=3)
+        via_path = repro.fit(str(path), rank=3, seed=0,
+                             max_outer_iterations=3)
+        for a, b in zip(direct.factors, via_path.factors):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fit_accepts_store_directory(self, tmp_path, store,
+                                         small_tensor):
+        direct = repro.fit(small_tensor, rank=3, seed=0,
+                           max_outer_iterations=3)
+        via_store = repro.fit(Path(tmp_path / "store"), rank=3, seed=0,
+                              max_outer_iterations=3)
+        for a, b in zip(direct.factors, via_store.factors):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fit_rejects_non_source(self):
+        with pytest.raises(ValueError, match="TensorSource"):
+            repro.fit(3.14, rank=3)
+
+    def test_hosvd_init_needs_in_core(self, store):
+        with pytest.raises(ValueError, match="hosvd"):
+            repro.fit(store, rank=3, seed=0, init="hosvd",
+                      max_outer_iterations=2)
