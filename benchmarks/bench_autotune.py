@@ -1,0 +1,156 @@
+"""Autotuner-vs-oracle sweep: is ``method="auto"`` choosing well?
+
+For every (dataset, mode) sweep point this benchmark times **every**
+candidate slab plan the autotuner selects among (full-run, best-of-N),
+plus the COO kernel as cross-family context, then lets a measure-mode
+:class:`~repro.kernels.autotune.BackendAutotuner` (full-tensor probes,
+throwaway cache) make its per-mode decision independently.  The
+artifact records, per sweep point:
+
+* the oracle table — measured seconds per candidate and for COO,
+* the tuner's chosen backend, its decision source, and the chosen
+  plan's **oracle-table** seconds (not the tuner's own probe numbers —
+  the check is against an independent measurement),
+* ``auto_vs_best`` (chosen seconds / oracle-best candidate seconds)
+  and ``worst_vs_auto`` (slowest backend incl. COO / chosen seconds).
+
+Acceptance gates asserted inline: auto lands within 5% of the
+oracle-best candidate on every sweep point, and beats the worst
+backend by >= 1.5x on at least one.  Bit-identity across the candidate
+plans is asserted too — the tuner's whole contract is that its choice
+is performance-only.
+
+JSON lands in ``benchmarks/results/BENCH_autotune.json`` (see
+``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.kernels import MTTKRPEngine
+from repro.kernels.autotune import BackendAutotuner, TuningCache
+from repro.kernels.mttkrp_coo import mttkrp_coo
+from repro.kernels.mttkrp_csf import mttkrp_csf
+from repro.kernels.workspace import KernelWorkspace
+from repro.tensor.tiling import CSFTiling
+
+from conftest import BENCH_SEED, save_artifact
+
+RANK = 16
+REPEATS = 5
+DATASETS = ("reddit", "nell")
+#: Auto must land within this factor of the oracle-best candidate.
+BEST_SLACK = 1.05
+#: ... and beat the worst backend by this factor somewhere in the sweep.
+WORST_FACTOR = 1.5
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def test_bench_autotune(small_datasets, results_dir, tmp_path):
+    points: list[dict] = []
+    for name in DATASETS:
+        tensor = small_datasets[name]
+        rng = np.random.default_rng([BENCH_SEED, hash(name) & 0xFFFF])
+        factors = [rng.uniform(0.0, 1.0, (s, RANK)) for s in tensor.shape]
+        engine = MTTKRPEngine(tensor, threads=1, executor="serial")
+        engine.trees.build_all()
+        # Full-tensor probes: the tuner measures exactly the work the
+        # oracle table measures, on its own clock and its own runs.
+        tuner = BackendAutotuner(mode="measure",
+                                 cache=TuningCache(tmp_path / f"{name}.json"),
+                                 probe_nnz=tensor.nnz, min_probe_nnz=0,
+                                 probe_repeats=REPEATS)
+        report = tuner.tune_engine(engine, RANK)
+        for mode in range(tensor.nmodes):
+            tree = engine.trees.csf(mode)
+            decision = report.decision(mode)
+            table: dict[str, float] = {}
+            anchor: np.ndarray | None = None
+            for cand in tuner.candidates(tree):
+                tiling = CSFTiling(tree,
+                                   slab_nnz_target=cand.slab_nnz_target)
+                ws = KernelWorkspace(tiling)
+                run = lambda: mttkrp_csf(tree, factors, mode,
+                                         tiling=tiling, workspace=ws)
+                out = np.array(run(), copy=True)  # warm-up, kept for identity
+                if anchor is None:
+                    anchor = out
+                else:
+                    # The tuner's contract: every candidate it may pick
+                    # is bitwise identical.
+                    np.testing.assert_array_equal(anchor, out)
+                table[cand.name] = _best_of(REPEATS, run)
+            mttkrp_coo(tensor, factors, mode)  # warm-up
+            table["coo"] = _best_of(
+                REPEATS, lambda: mttkrp_coo(tensor, factors, mode))
+
+            oracle_best = min(v for k, v in table.items() if k != "coo")
+            auto_seconds = table[decision.backend]
+            worst_seconds = max(table.values())
+            points.append({
+                "dataset": name,
+                "mode": mode,
+                "nnz": tree.nnz,
+                "chosen": decision.backend,
+                "source": decision.source,
+                "table_seconds": table,
+                "auto_seconds": auto_seconds,
+                "oracle_best_seconds": oracle_best,
+                "worst_seconds": worst_seconds,
+                "auto_vs_best": auto_seconds / oracle_best,
+                "worst_vs_auto": worst_seconds / auto_seconds,
+            })
+        engine.close()
+
+    failures = [p for p in points if p["auto_vs_best"] > BEST_SLACK]
+    assert not failures, (
+        f"auto missed the {BEST_SLACK:.0%} oracle window on: "
+        + ", ".join(f"{p['dataset']}/mode{p['mode']} "
+                    f"(x{p['auto_vs_best']:.3f})" for p in failures))
+    best_margin = max(p["worst_vs_auto"] for p in points)
+    assert best_margin >= WORST_FACTOR, (
+        f"auto never beat the worst backend by {WORST_FACTOR}x "
+        f"(best margin x{best_margin:.2f})")
+
+    payload = {
+        "benchmark": "autotune",
+        "rank": RANK,
+        "repeats": REPEATS,
+        "best_slack": BEST_SLACK,
+        "worst_factor": WORST_FACTOR,
+        "max_auto_vs_best": max(p["auto_vs_best"] for p in points),
+        "max_worst_vs_auto": best_margin,
+        "points": points,
+    }
+    json_path = results_dir / "BENCH_autotune.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"MTTKRP autotuner vs oracle (rank={RANK}, "
+             f"best-of-{REPEATS}, measure-mode tuner)",
+             f"{'point':>14} {'chosen':>14} {'auto ms':>9} "
+             f"{'best ms':>9} {'worst ms':>9} {'vs best':>8} "
+             f"{'worst/auto':>10}"]
+    for p in points:
+        lines.append(
+            f"{p['dataset'] + '/m' + str(p['mode']):>14} "
+            f"{p['chosen']:>14} "
+            f"{p['auto_seconds'] * 1e3:>9.2f} "
+            f"{p['oracle_best_seconds'] * 1e3:>9.2f} "
+            f"{p['worst_seconds'] * 1e3:>9.2f} "
+            f"x{p['auto_vs_best']:>7.3f} "
+            f"x{p['worst_vs_auto']:>9.2f}")
+    lines.append(f"[json saved to {json_path}]")
+    save_artifact(results_dir, "bench_autotune", "\n".join(lines))

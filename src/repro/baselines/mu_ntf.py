@@ -50,7 +50,7 @@ def fit_mu(tensor: COOTensor,
         factors = [np.abs(np.array(f, dtype=float, copy=True))
                    for f in initial_factors]
     if engine is None:
-        engine = make_engine(tensor)
+        engine = make_engine(tensor, rank=options.rank, tune=options.tune)
 
     gram_cache = GramCache(factors)
     norm_x_sq = tensor.norm_squared()

@@ -52,7 +52,7 @@ def fit_pgd(tensor: COOTensor,
         factors = [np.maximum(np.array(f, dtype=float, copy=True), 0.0)
                    for f in initial_factors]
     if engine is None:
-        engine = make_engine(tensor)
+        engine = make_engine(tensor, rank=options.rank, tune=options.tune)
 
     gram_cache = GramCache(factors)
     norm_x_sq = tensor.norm_squared()

@@ -47,7 +47,7 @@ def fit_als(tensor: COOTensor,
         factors = [np.array(f, dtype=float, copy=True)
                    for f in initial_factors]
     if engine is None:
-        engine = make_engine(tensor)
+        engine = make_engine(tensor, rank=options.rank, tune=options.tune)
 
     gram_cache = GramCache(factors)
     norm_x_sq = tensor.norm_squared()

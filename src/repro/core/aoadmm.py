@@ -185,7 +185,8 @@ def fit_aoadmm(tensor: TensorSource,
                              threads=options.threads,
                              slab_nnz_target=options.slab_nnz_target,
                              executor=options.executor,
-                             max_bytes_in_core=options.max_bytes_in_core)
+                             max_bytes_in_core=options.max_bytes_in_core,
+                             rank=options.rank, tune=options.tune)
     if checkpoint is not None:
         # Rebuild the dynamic factor representations (Section IV-C) the
         # uninterrupted run would carry at this point — they are a pure

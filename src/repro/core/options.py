@@ -67,8 +67,20 @@ class AOADMMOptions:
         executors (see ``docs/parallelism.md``).
     slab_nnz_target:
         Non-zeros per MTTKRP slab for the engine's CSF tilings
-        (Section IV-A slice parallelism).  ``None`` uses
-        :data:`repro.config.DEFAULT_SLAB_NNZ`.
+        (Section IV-A slice parallelism).  ``None`` (the default) lets
+        the backend autotuner choose per mode (see ``tune``); an
+        explicit value pins every mode and disables tuning.
+    tune:
+        MTTKRP backend autotuning mode
+        (:mod:`repro.kernels.autotune`): ``"model"`` ranks the
+        csf-family slab plans on the analytic cost model, ``"measure"``
+        refines with timed calibration probes persisted in the on-disk
+        tuning cache, ``"off"`` keeps the default/explicit slab target.
+        ``None`` (the default) resolves the ``REPRO_TUNE`` environment
+        variable, falling back to ``"model"``.  Like
+        ``threads``/``slab_nnz_target`` this is a performance knob:
+        every candidate plan is bit-identical, so results never depend
+        on the tune mode.
     max_bytes_in_core:
         Byte budget for the out-of-core slab residency set when the
         tensor is a :class:`~repro.tensor.store.ShardedTensorStore`
@@ -124,6 +136,7 @@ class AOADMMOptions:
     threads: int | None = 1
     executor: object = None
     slab_nnz_target: int | None = None
+    tune: str | None = None
     max_bytes_in_core: int | None = None
     track_block_reports: bool = False
     #: Called after every outer iteration with the fresh
@@ -150,6 +163,10 @@ class AOADMMOptions:
         if self.slab_nnz_target is not None:
             require(self.slab_nnz_target >= 1,
                     "slab_nnz_target must be positive")
+        if self.tune is not None:
+            require(self.tune in ("off", "model", "measure"),
+                    f"unknown tune mode {self.tune!r} "
+                    "(choose from ('off', 'model', 'measure'))")
         if self.max_bytes_in_core is not None:
             require(self.max_bytes_in_core >= 1,
                     "max_bytes_in_core must be positive")

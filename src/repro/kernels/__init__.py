@@ -28,6 +28,15 @@ from .dispatch import (
     MTTKRPCallStats,
     StreamingMTTKRPEngine,
 )
+from .autotune import (
+    BackendAutotuner,
+    BackendCandidate,
+    ModeDecision,
+    TuningCache,
+    TuningReport,
+    candidate_backends,
+    resolve_tune_mode,
+)
 
 __all__ = [
     "scatter_add_rows",
@@ -47,4 +56,11 @@ __all__ = [
     "MTTKRPEngine",
     "MTTKRPCallStats",
     "StreamingMTTKRPEngine",
+    "BackendAutotuner",
+    "BackendCandidate",
+    "ModeDecision",
+    "TuningCache",
+    "TuningReport",
+    "candidate_backends",
+    "resolve_tune_mode",
 ]

@@ -43,6 +43,7 @@ from ..tensor.csf import AllModeCSF, CSFTensor
 from ..tensor.tiling import CSFTiling
 from ..types import FactorList
 from ..validation import check_mode, require
+from .autotune import BackendAutotuner, resolve_tune_mode
 from .mttkrp_coo import mttkrp_coo
 from .mttkrp_csf import _upward_to_level, mttkrp_csf
 from .mttkrp_sparse import (
@@ -66,6 +67,14 @@ _CSF_METHOD_CACHE: dict[tuple[int, int],
 _CSF_METHOD_CACHE_MAX = 8
 _MEMOIZATION_ENABLED = True
 
+#: Memoized model-tuned execution plans for the stateless
+#: ``mttkrp(method="auto")`` path, keyed by ``(id(tensor), mode, rank)``
+#: with the same array-pinning identity check as the tree memo above.
+_AUTO_PLAN_CACHE: dict[tuple[int, int, int],
+                       tuple[np.ndarray, np.ndarray, CSFTiling,
+                             KernelWorkspace]] = {}
+_AUTO_PLAN_CACHE_MAX = 8
+
 
 def configure_memoization(enabled: bool) -> bool:
     """Globally enable/disable kernel memoization; returns the old setting.
@@ -81,6 +90,7 @@ def configure_memoization(enabled: bool) -> bool:
     _MEMOIZATION_ENABLED = bool(enabled)
     if not _MEMOIZATION_ENABLED:
         _CSF_METHOD_CACHE.clear()
+        _AUTO_PLAN_CACHE.clear()
     return previous
 
 
@@ -115,21 +125,74 @@ def _csf_for_method(tensor: COOTensor, mode: int) -> CSFTensor:
     return tree
 
 
+def _auto_plan(tensor: COOTensor, mode: int, rank: int
+               ) -> tuple[CSFTensor, CSFTiling, KernelWorkspace]:
+    """Build (or reuse) the model-tuned plan for one stateless auto call.
+
+    Stateless calls always seed from the analytic model — even under
+    ``REPRO_TUNE=measure`` — because a one-off call cannot amortize a
+    timed probe (engines and fits are where measuring pays).  Every
+    candidate plan is the same csf-family sweep, so the selection is
+    bit-invisible: ``method="auto"`` equals ``method="csf"`` exactly.
+    """
+    key = (id(tensor), mode, rank)
+    hit = _AUTO_PLAN_CACHE.get(key) if _MEMOIZATION_ENABLED else None
+    if hit is not None and hit[0] is tensor.coords and hit[1] is tensor.vals:
+        record_cache_event("mttkrp_auto_plan", hit=True)
+        return hit[2].csf, hit[2], hit[3]
+    record_cache_event("mttkrp_auto_plan", hit=False)
+    tree = _csf_for_method(tensor, mode)
+    tuner = BackendAutotuner(mode="model")
+    decision = tuner.decide_tree(tree, mode, rank)
+    tiling = CSFTiling(tree, slab_nnz_target=decision.slab_nnz_target)
+    ws = KernelWorkspace(tiling)
+    if _MEMOIZATION_ENABLED:
+        if len(_AUTO_PLAN_CACHE) >= _AUTO_PLAN_CACHE_MAX:
+            _AUTO_PLAN_CACHE.pop(next(iter(_AUTO_PLAN_CACHE)))
+        _AUTO_PLAN_CACHE[key] = (tensor.coords, tensor.vals, tiling, ws)
+    return tree, tiling, ws
+
+
 def mttkrp(tensor: COOTensor | CSFTensor | AllModeCSF, factors: FactorList,
            mode: int, method: str = "auto") -> np.ndarray:
     """Compute MTTKRP for *mode* with the requested *method*.
 
-    ``method="auto"`` uses the CSF root kernel when given CSF data and the
-    vectorized COO kernel otherwise.
+    ``method="auto"`` (the default) routes COO input through the
+    model-tuned slab-tiled CSF kernels — the same bit-identity family as
+    ``method="csf"``, so the tuner's slab choice (and the ``REPRO_TUNE``
+    mode, including ``off``, which degrades to the untiled ``csf``
+    path) never changes a single output bit.  CSF inputs always use the
+    CSF root kernel; ``method="coo"`` forces the vectorized COO kernel
+    (a different summation order — its own comparison family).
     """
     if isinstance(tensor, AllModeCSF):
         return mttkrp_csf(tensor.csf(mode), factors, mode)
     if isinstance(tensor, CSFTensor):
         return mttkrp_csf(tensor, factors, mode)
     require(isinstance(tensor, COOTensor), "unsupported tensor type")
-    if method in ("auto", "coo"):
+    if method == "coo":
         return mttkrp_coo(tensor, factors, mode)
-    if method == "csf":
+    if method == "auto" and resolve_tune_mode() != "off":
+        rank = int(np.asarray(factors[0]).shape[1])
+        tree, tiling, ws = _auto_plan(tensor, mode, rank)
+        start = time.perf_counter()
+        with span("mttkrp", mode=mode, method="auto"):
+            out = mttkrp_csf(tree, factors, mode, tiling=tiling,
+                             workspace=ws)
+        if is_enabled():
+            record_mttkrp_call(MTTKRPCallStats(
+                mode=mode, leaf_mode=tree.mode_order[-1],
+                representation="dense",
+                gathered_nnz=tree.nnz * rank,
+                tensor_nnz=tree.nnz,
+                slab_count=tiling.slab_count,
+                seconds=time.perf_counter() - start,
+                executor="serial",
+            ), rank=rank)
+        # The workspace buffer is pooled (valid until the next call for
+        # this plan); the stateless contract hands back an owned array.
+        return np.array(out, copy=True)
+    if method in ("auto", "csf"):
         tree = _csf_for_method(tensor, mode)
         start = time.perf_counter()
         with span("mttkrp", mode=mode, method="csf"):
@@ -243,6 +306,12 @@ class MTTKRPEngine:
         self.tol = float(tol)
         self.threads = threads
         self.slab_nnz_target = slab_nnz_target
+        #: Per-root-mode slab targets installed by :meth:`apply_tuning`
+        #: (they take precedence over the engine-wide ``slab_nnz_target``).
+        self._tuned_targets: dict[int, int] = {}
+        #: The autotuner's :class:`~repro.kernels.autotune.TuningReport`
+        #: (``None`` until :meth:`apply_tuning` runs).
+        self.tuning = None
         self._executor = resolve_executor(executor)
         #: Shared-memory plane for the process executor (one arena per
         #: engine; ``None`` for in-process executors).
@@ -320,12 +389,31 @@ class MTTKRPEngine:
     # ------------------------------------------------------------------
     # Tiling / workspace management (static: one per tree, built lazily)
     # ------------------------------------------------------------------
+    def apply_tuning(self, report) -> None:
+        """Install per-mode slab targets from an autotuner report.
+
+        Tilings are static (built once, reused for the whole
+        factorization), so tuning must land before the first
+        :meth:`tiling` call for any mode — the autotuner's
+        ``tune_engine`` and :func:`make_engine` both respect that.
+        Selection is performance-only: every candidate the tuner
+        considers is the same csf-family sweep, so the installed
+        targets never change a single output bit.
+        """
+        require(not self._tilings,
+                "apply_tuning must run before any tiling is built "
+                "(slab decompositions are static)")
+        self._tuned_targets = dict(report.slab_targets())
+        self.tuning = report
+
     def tiling(self, root_mode: int) -> CSFTiling:
         """The slab tiling of the tree rooted at *root_mode*."""
         tiling = self._tilings.get(root_mode)
         if tiling is None:
+            target = self._tuned_targets.get(root_mode,
+                                             self.slab_nnz_target)
             tiling = CSFTiling(self.trees.csf(root_mode),
-                               slab_nnz_target=self.slab_nnz_target)
+                               slab_nnz_target=target)
             self._tilings[root_mode] = tiling
             record_tiling(tiling, root_mode)
         return tiling
@@ -607,7 +695,9 @@ def make_engine(tensor,
                 threads: int | None = 1,
                 slab_nnz_target: int | None = None,
                 executor: "str | ExecutorBase | None" = None,
-                max_bytes_in_core: int | None = None):
+                max_bytes_in_core: int | None = None,
+                rank: int | None = None,
+                tune: str | None = None):
     """Build the right MTTKRP engine for any ``TensorSource``.
 
     The single dispatch point the drivers use:
@@ -621,6 +711,15 @@ def make_engine(tensor,
 
     ``max_bytes_in_core`` only influences the out-of-core path; in-core
     tensors are already resident and the knob is ignored for them.
+
+    When *rank* is given, *slab_nnz_target* is not (an explicit target
+    is a user pin), and the resolved tune mode (*tune* argument, else
+    ``REPRO_TUNE``, else ``"model"``) is not ``"off"``, the in-core
+    engine's per-mode slab targets are chosen by the
+    :class:`~repro.kernels.autotune.BackendAutotuner` — selection is
+    performance-only and bit-invisible (csf family).  The streaming
+    engine is never tuned: its slab decomposition was fixed on disk
+    when the store was sharded.
     """
     from ..tensor.store import ShardedTensorStore
     if isinstance(tensor, ShardedTensorStore):
@@ -648,4 +747,9 @@ def make_engine(tensor,
                           slab_nnz_target=slab_nnz_target,
                           executor=executor)
     engine.trees.build_all()
+    if rank is not None and slab_nnz_target is None:
+        tune_mode = resolve_tune_mode(tune)
+        if tune_mode != "off":
+            tuner = BackendAutotuner(mode=tune_mode)
+            tuner.tune_engine(engine, rank)
     return engine

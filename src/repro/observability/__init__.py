@@ -41,6 +41,9 @@ from .hooks import (
     record_slab_event,
     record_supervisor_event,
     record_tiling,
+    record_tune_decision,
+    record_tune_probe,
+    record_tune_quarantine,
     remove_hook,
     roofline_seconds,
 )
@@ -162,6 +165,9 @@ __all__ = [
     "record_iteration",
     "record_slab_event",
     "record_supervisor_event",
+    "record_tune_decision",
+    "record_tune_probe",
+    "record_tune_quarantine",
     "mttkrp_flops_bytes",
     "roofline_seconds",
     "SECONDS_BUCKETS",

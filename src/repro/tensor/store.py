@@ -84,12 +84,20 @@ def _fingerprint_arrays(*arrays: np.ndarray) -> str:
     return digest.hexdigest()
 
 
+#: Malformed ``REPRO_MAX_BYTES_IN_CORE`` values already warned about —
+#: the budget is resolved on every engine build, so a typo'd shell
+#: profile must warn once, not once per fit (the ``REPRO_EXECUTOR`` /
+#: ``REPRO_NUM_THREADS`` warn-once contract).
+_WARNED_ENV_VALUES: set[str] = set()
+
+
 def resolve_byte_budget(max_bytes_in_core: int | None = None) -> int | None:
     """An explicit byte budget, else ``REPRO_MAX_BYTES_IN_CORE``, else None.
 
-    A malformed environment value warns and is ignored (same contract
-    as ``REPRO_EXECUTOR`` / ``REPRO_NUM_THREADS``: a typo in a shell
-    profile must not crash library calls).
+    A malformed environment value warns once per distinct value and is
+    ignored (same contract as ``REPRO_EXECUTOR`` /
+    ``REPRO_NUM_THREADS``: a typo in a shell profile must not crash —
+    or spam — library calls).
     """
     if max_bytes_in_core is not None:
         budget = int(max_bytes_in_core)
@@ -103,10 +111,12 @@ def resolve_byte_budget(max_bytes_in_core: int | None = None) -> int | None:
         if budget < 1:
             raise ValueError(budget)
     except ValueError:
-        warnings.warn(
-            f"ignoring malformed {BUDGET_ENV_VAR}={raw!r} "
-            "(need a positive integer byte count)",
-            RuntimeWarning, stacklevel=2)
+        if raw not in _WARNED_ENV_VALUES:
+            _WARNED_ENV_VALUES.add(raw)
+            warnings.warn(
+                f"ignoring malformed {BUDGET_ENV_VAR}={raw!r} "
+                "(need a positive integer byte count)",
+                RuntimeWarning, stacklevel=2)
         return None
     return budget
 

@@ -236,6 +236,45 @@ def _sharded_backend(tensor: COOTensor,
     return kernel
 
 
+def _auto_backend(tensor: COOTensor, tune_mode: str) -> Callable:
+    """Autotuned grid point: engine whose slab plans the tuner chose.
+
+    Joins the ``csf`` family — the autotuner only ever selects among
+    csf-family slab decompositions (``docs/autotuning.md``), so its
+    choice is contractually **bitwise** invisible whatever the tune
+    mode.  ``measure`` probes against a throwaway temp cache
+    (finalizer-cleaned) so sweep runs never touch the user's cache.
+    Tuning happens lazily on the first call, when the rank is known
+    from the factors.
+    """
+    import shutil
+    import tempfile
+    import weakref
+
+    from ..kernels.autotune import BackendAutotuner, TuningCache
+
+    engine = MTTKRPEngine(tensor, repr_policy="dense", threads=1)
+    engine.trees.build_all()
+    if tune_mode == "measure":
+        tmp = tempfile.mkdtemp(prefix="repro-difftune-")
+        cache = TuningCache(f"{tmp}/autotune.json")
+    else:
+        tmp, cache = None, None
+    tuner = BackendAutotuner(mode=tune_mode, cache=cache,
+                             min_probe_nnz=0, probe_repeats=1)
+    tuned: list[int] = []
+
+    def kernel(factors: list, mode: int) -> np.ndarray:
+        if not tuned:
+            tuner.tune_engine(engine, int(np.asarray(factors[0]).shape[1]))
+            tuned.append(1)
+        return np.array(engine.mttkrp(factors, mode), copy=True)
+
+    if tmp is not None:
+        weakref.finalize(kernel, shutil.rmtree, tmp, True)
+    return kernel
+
+
 def _distributed_backend(tensor: COOTensor, ranks: int) -> Callable:
     partition = partition_tensor(tensor, ranks)
 
@@ -275,6 +314,17 @@ def mttkrp_backend_specs(threads: Sequence[int] = (1, 2, 4),
         # slab decomposition is contractually bit-invisible.
         BackendSpec("csf", "csf",
                     lambda t: lambda f, m: mttkrp(t, f, m, method="csf")),
+        # The autotuned paths: same family, because the autotuner only
+        # selects among csf-family slab plans.  "auto" is the stateless
+        # dispatch default; auto[model]/auto[measure] pin the engine
+        # tuner to each tune mode so a measured decision can never
+        # drift bitwise from the model-seeded or manual anchors.
+        BackendSpec("auto", "csf",
+                    lambda t: lambda f, m: mttkrp(t, f, m, method="auto")),
+        BackendSpec("auto[model]", "csf",
+                    lambda t: _auto_backend(t, "model")),
+        BackendSpec("auto[measure]", "csf",
+                    lambda t: _auto_backend(t, "measure")),
     ]
     for t in threads:
         for s in slab_targets:

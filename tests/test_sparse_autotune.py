@@ -1,0 +1,206 @@
+"""Tests for the cost-model factor-representation chooser.
+
+``repro.sparse.autotune`` prices dense / CSR / CSR-H for a factor from
+measurable statistics (Section VI's "automatically select the best data
+structure" future work).  Covered here:
+
+* property tests — prices are finite, non-negative, monotone in the
+  obvious directions (accesses, rows, density), and ``best`` really is
+  the argmin;
+* boundary agreement with the :mod:`repro.sparse.analysis` heuristics —
+  all-dense factors, 1-wide factors, and at-scale sparse profiles where
+  the paper's density rule and the cost model must point the same way;
+* seeded golden decisions on the paper machine spec, pinning the three
+  regimes (dense / csr / csr-h) the model distinguishes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.spec import PAPER_MACHINE
+from repro.sparse.analysis import (
+    choose_representation,
+    density,
+    should_sparsify,
+)
+from repro.sparse.autotune import (
+    FactorProfile,
+    autotune_representation,
+    price_representations,
+)
+
+REPRS = ("dense", "csr", "csr-h")
+
+profiles = st.builds(
+    FactorProfile,
+    rows=st.integers(min_value=1, max_value=50_000_000),
+    rank=st.integers(min_value=1, max_value=200),
+    density=st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False),
+    dense_col_frac=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False, allow_infinity=False),
+    dense_col_share=st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False, allow_infinity=False),
+)
+accesses = st.floats(min_value=0.0, max_value=1e12,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestPricingProperties:
+    @given(profile=profiles, acc=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_finite_nonneg_and_best_is_argmin(self, profile, acc):
+        costs = price_representations(profile, acc)
+        table = costs.as_dict()
+        assert set(table) == set(REPRS)
+        for value in table.values():
+            assert np.isfinite(value) and value >= 0.0
+        assert costs.build_seconds >= 0.0
+        assert costs.best == min(table, key=table.get)
+
+    @given(profile=profiles, acc=accesses,
+           more=st.floats(min_value=1.0, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_accesses(self, profile, acc, more):
+        lo = price_representations(profile, acc).as_dict()
+        hi = price_representations(profile, acc * more).as_dict()
+        for name in REPRS:
+            assert hi[name] >= lo[name]
+
+    @given(profile=profiles, acc=accesses,
+           bump=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_density(self, profile, acc, bump):
+        denser = dataclasses.replace(
+            profile, density=min(1.0, profile.density + bump))
+        lo = price_representations(profile, acc)
+        hi = price_representations(denser, acc)
+        # Stored non-zeros grow with density: CSR traffic (and the
+        # hybrid's sparse tail) can only get more expensive; the dense
+        # representation never looks at the density at all.
+        assert hi.csr_seconds >= lo.csr_seconds
+        assert hi.hybrid_seconds >= lo.hybrid_seconds
+        assert hi.dense_seconds == lo.dense_seconds
+
+    @given(profile=profiles, acc=accesses,
+           factor=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_rows(self, profile, acc, factor):
+        taller = dataclasses.replace(profile, rows=profile.rows * factor)
+        lo = price_representations(profile, acc)
+        hi = price_representations(taller, acc)
+        # More rows -> larger working sets (miss rate can only rise)
+        # and a costlier compression pass.
+        for name in REPRS:
+            assert hi.as_dict()[name] >= lo.as_dict()[name]
+        assert hi.build_seconds >= lo.build_seconds
+
+
+class TestHeuristicAgreement:
+    """The cost model and the Section V-E heuristics on boundary cases."""
+
+    def test_all_dense_agrees(self):
+        rng = np.random.default_rng(42)
+        matrix = rng.uniform(0.5, 1.0, (2000, 16))
+        assert choose_representation(matrix) == "dense"
+        # Fully dense storage strictly dominates: sparse formats store
+        # value+index pairs for every entry.  Any access count, any
+        # scale.
+        assert autotune_representation(matrix, 1e6) == "dense"
+        profile = dataclasses.replace(FactorProfile.from_matrix(matrix),
+                                      rows=50_000_000)
+        assert price_representations(profile, 1e10).best == "dense"
+
+    def test_one_wide_dense_agrees(self):
+        rng = np.random.default_rng(43)
+        column = rng.uniform(0.5, 1.0, (2000, 1))
+        assert choose_representation(column) == "dense"
+        assert autotune_representation(column, 1e6) == "dense"
+
+    def test_one_wide_sparse_prices_without_crashing(self):
+        # rank=1 is the degenerate hybrid: no column skew is possible,
+        # so the heuristic falls back to plain CSR; the pricing must
+        # still produce a valid decision (at small working sets that is
+        # "dense" — the whole column fits in cache).
+        rng = np.random.default_rng(44)
+        column = np.where(rng.uniform(size=(2000, 1)) < 0.05, 1.0, 0.0)
+        assert choose_representation(column) == "csr"
+        assert autotune_representation(column, 1e6) in REPRS
+
+    def test_sparse_at_scale_agrees_on_sparsifying(self):
+        # The 20% rule says sparsify; at working sets past the LLC the
+        # cost model agrees a sparse representation wins.
+        rng = np.random.default_rng(45)
+        matrix = np.where(rng.uniform(size=(2000, 16)) < 0.05, 1.0, 0.0)
+        assert should_sparsify(matrix)
+        profile = dataclasses.replace(FactorProfile.from_matrix(matrix),
+                                      rows=5_000_000)
+        assert price_representations(profile, 1e8).best in ("csr", "csr-h")
+
+    def test_skewed_sparse_at_scale_agrees_on_hybrid(self):
+        # Few dense columns holding most of the mass: the heuristic's
+        # hybrid profile.  At scale the cost model points the same way.
+        rng = np.random.default_rng(7)
+        matrix = np.zeros((2000, 20))
+        matrix[:, :2] = rng.uniform(0.5, 1.0, (2000, 2))
+        matrix[:, 2:] = np.where(rng.uniform(size=(2000, 18)) < 0.02,
+                                 1.0, 0.0)
+        assert density(matrix) < 0.2
+        assert choose_representation(matrix) == "hybrid"
+        profile = dataclasses.replace(FactorProfile.from_matrix(matrix),
+                                      rows=5_000_000)
+        assert price_representations(profile, 1e8).best == "csr-h"
+
+
+class TestGoldenDecisions:
+    """Pinned chooser decisions on the paper machine spec.
+
+    One profile per regime the model separates.  These are
+    regression pins: a change to the pricing that flips any of them
+    should have to explain itself.
+    """
+
+    CASES = (
+        # (rows, rank, density, frac, share, accesses) -> best
+        ((5_000_000, 50, 0.01, 0.0, 0.0, 1e8), "csr-h"),
+        ((5_000_000, 50, 0.05, 0.5, 0.2, 1e8), "csr"),
+        ((5_000_000, 50, 1.00, 0.0, 0.0, 1e8), "dense"),
+    )
+
+    @pytest.mark.parametrize("spec,expected", CASES)
+    def test_regime(self, spec, expected):
+        rows, rank, dens, frac, share, acc = spec
+        profile = FactorProfile(rows=rows, rank=rank, density=dens,
+                                dense_col_frac=frac,
+                                dense_col_share=share)
+        costs = price_representations(profile, acc, PAPER_MACHINE)
+        assert costs.best == expected
+
+    def test_golden_seconds(self):
+        # The dense price is a pure roofline read: accesses * row bytes
+        # * LLC miss rate / bandwidth.  Pin it (and the build pass) so
+        # silent machine-spec or formula drift is caught.
+        profile = FactorProfile(rows=5_000_000, rank=50, density=0.01,
+                                dense_col_frac=0.0, dense_col_share=0.0)
+        costs = price_representations(profile, 1e8, PAPER_MACHINE)
+        assert costs.dense_seconds == pytest.approx(0.19047619047619047,
+                                                    rel=1e-9)
+        assert costs.build_seconds == pytest.approx(0.0380952380952381,
+                                                    rel=1e-9)
+        assert costs.best == "csr-h"
+
+    def test_from_matrix_round_trip(self):
+        rng = np.random.default_rng(46)
+        matrix = np.where(rng.uniform(size=(500, 8)) < 0.3,
+                          rng.uniform(size=(500, 8)), 0.0)
+        profile = FactorProfile.from_matrix(matrix)
+        assert profile.rows == 500 and profile.rank == 8
+        assert profile.density == pytest.approx(density(matrix))
+        assert 0.0 <= profile.dense_col_frac <= 1.0
+        assert 0.0 <= profile.dense_col_share <= 1.0

@@ -162,8 +162,27 @@ class TestOpenTensor:
 
     def test_malformed_env_var_warns_and_ignores(self, monkeypatch,
                                                  small_tensor):
+        from repro.tensor import store as store_mod
+        monkeypatch.setattr(store_mod, "_WARNED_ENV_VALUES", set())
         monkeypatch.setenv(BUDGET_ENV_VAR, "lots")
         with pytest.warns(RuntimeWarning, match=BUDGET_ENV_VAR):
+            assert resolve_byte_budget() is None
+
+    def test_malformed_env_var_warns_once_per_value(self, monkeypatch,
+                                                    small_tensor):
+        from repro.tensor import store as store_mod
+        monkeypatch.setattr(store_mod, "_WARNED_ENV_VALUES", set())
+        monkeypatch.setenv(BUDGET_ENV_VAR, "plenty")
+        with pytest.warns(RuntimeWarning, match=BUDGET_ENV_VAR):
+            assert resolve_byte_budget() is None
+        # Same malformed value again: silently ignored (warn-once, the
+        # REPRO_EXECUTOR / REPRO_NUM_THREADS contract).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_byte_budget() is None
+        # A *different* malformed value earns its own warning.
+        monkeypatch.setenv(BUDGET_ENV_VAR, "loads")
+        with pytest.warns(RuntimeWarning, match="loads"):
             assert resolve_byte_budget() is None
 
     def test_rejects_non_tensor(self):
