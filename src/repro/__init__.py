@@ -57,6 +57,13 @@ from .core import (
     save_model,
 )
 from .core.options import LEGACY_KWARGS, options_from_kwargs
+from .integrity import (
+    VERIFY_ENV_VAR,
+    ChecksumManifest,
+    IntegrityError,
+    checksum_file,
+    verify_reads_enabled,
+)
 from .observability import Observability, configure, get_observability
 from .robustness import (
     Backoff,
@@ -152,6 +159,11 @@ __all__ = [
     "save_model",
     "load_model",
     "penalized_objective",
+    "ChecksumManifest",
+    "IntegrityError",
+    "VERIFY_ENV_VAR",
+    "checksum_file",
+    "verify_reads_enabled",
     "Backoff",
     "Checkpoint",
     "CheckpointStore",

@@ -11,6 +11,9 @@ Mirrors the workflows SPLATT's ``splatt`` binary offers:
   backend autotuner's per-mode decisions (model or measured).
 * ``python -m repro simulate reddit --rank 50`` — the Figure 4/5 speedup
   curves on the simulated machine.
+* ``python -m repro fsck <path> [--repair] [--source t.tns]`` — scrub
+  sharded stores, checkpoints, and tuning caches against their
+  checksums; exit 0 when clean, 4 when unrepaired corruption remains.
 """
 
 from __future__ import annotations
@@ -131,18 +134,55 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
-    from .tensor.store import ShardedTensorStore, open_tensor
+    from pathlib import Path
 
+    from .tensor.store import META_FILE, ShardedTensorStore, open_tensor
+
+    # Look before writing: a target directory that exists but is not a
+    # store (no meta.json) is somebody's data — refuse to shard into
+    # it rather than scattering modeN/ directories over it.
+    output = Path(args.output)
+    if output.exists():
+        if (output / META_FILE).exists():
+            print(f"{output} already contains a sharded store; "
+                  f"remove it first to re-shard")
+            return 2
+        if any(output.iterdir()):
+            print(f"{output} exists and is not a sharded store "
+                  f"(no {META_FILE}); refusing to overwrite it — "
+                  f"pick an empty or new directory")
+            return 2
     tensor = open_tensor(args.tensor)
     if isinstance(tensor, ShardedTensorStore):
         print(f"{args.tensor} is already a sharded store")
         return 2
-    store = ShardedTensorStore.create(tensor, args.output,
+    store = ShardedTensorStore.create(tensor, output,
                                       slab_nnz_target=args.slab_nnz)
     slabs = "/".join(str(store.slab_count(m)) for m in range(store.nmodes))
     print(f"{store} -> {args.output} (slabs per mode: {slabs})")
     store.close()
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .integrity.fsck import fsck_path
+
+    source = None
+    if args.source is not None:
+        from .tensor.coo import COOTensor
+        from .tensor.store import open_tensor
+
+        source = open_tensor(args.source)
+        if not isinstance(source, COOTensor):
+            print(f"--source {args.source} must be an in-core tensor "
+                  f"file (.tns), not a store")
+            return 2
+    report = fsck_path(args.path, repair=args.repair, source=source)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 4
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -263,6 +303,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="non-zeros per slab (default: config "
                         "DEFAULT_SLAB_NNZ)")
     p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser("fsck",
+                       help="scrub stores, checkpoints, and tuning "
+                            "caches; optionally repair what checksums "
+                            "can prove damaged")
+    p.add_argument("path",
+                   help="store directory, checkpoint file/directory, "
+                        "tuning-cache JSON, or a directory to walk")
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine damaged artifacts, rebuild slabs "
+                        "(needs --source), drop invalid cache entries, "
+                        "and clean stale staging debris")
+    p.add_argument("--source", metavar="TENSOR",
+                   help=".tns file a store was sharded from; enables "
+                        "slab rebuilds during --repair")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a table")
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("generate", help="write a synthetic corpus")
     p.add_argument("dataset",

@@ -22,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from ..constraints.base import Constraint
+from ..integrity import IntegrityError
 from ..tensor.coo import COOTensor
 from ..validation import require
 from .cpd import CPModel
@@ -30,6 +31,9 @@ _WEIGHTS_KEY = "weights"
 _MODE_KEY = re.compile(r"mode(\d+)")
 #: Reserved key carrying the JSON metadata blob in state ``.npz`` files.
 _META_KEY = "__meta__"
+#: Metadata key carrying the SHA-1 over every payload array, in sorted
+#: key order — the bit-rot detector :func:`load_state_npz` verifies.
+PAYLOAD_SHA_KEY = "payload_sha1"
 
 
 def save_model(model: CPModel, path: str | Path) -> Path:
@@ -83,8 +87,28 @@ def array_fingerprint(*arrays: np.ndarray) -> str:
     return digest.hexdigest()
 
 
+def payload_fingerprint(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-1 over every payload array, in sorted key order.
+
+    The whole-payload integrity fingerprint :func:`save_state_npz`
+    embeds in the metadata blob and :func:`load_state_npz` verifies —
+    a flipped bit in *any* array (factors, duals, trace history)
+    changes it, closing the gap left by fingerprints that only cover
+    the primal factors.
+    """
+    keys = sorted(arrays)
+    digest = hashlib.sha1()
+    for key in keys:
+        digest.update(key.encode())
+        digest.update(b"\0")
+    digest.update(array_fingerprint(
+        *(arrays[k] for k in keys)).encode() if keys else b"")
+    return digest.hexdigest()
+
+
 def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
-                   meta: dict, fsync: bool = False) -> Path:
+                   meta: dict, fsync: bool = False,
+                   checksum: bool = True) -> Path:
     """Atomically write *arrays* plus a JSON *meta* blob to ``path``.
 
     The write goes through a temporary file in the destination directory
@@ -94,12 +118,21 @@ def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
     entry) are flushed to stable storage before the rename — the
     checkpoint retention layer prunes older versions only after this
     barrier, so a power loss can never leave *zero* durable checkpoints.
+
+    With *checksum* (the default) a :func:`payload_fingerprint` over
+    every array is embedded in the metadata under
+    :data:`PAYLOAD_SHA_KEY`; :func:`load_state_npz` verifies it, so
+    bit-rot inside the container is detected at load time rather than
+    propagated into a resumed fit.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_name(path.name + ".npz")
     require(_META_KEY not in arrays,
             f"array key {_META_KEY!r} is reserved for metadata")
+    if checksum:
+        meta = dict(meta)
+        meta[PAYLOAD_SHA_KEY] = payload_fingerprint(arrays)
     payload = dict(arrays)
     payload[_META_KEY] = np.array(json.dumps(meta, sort_keys=True))
     fd, tmp_name = tempfile.mkstemp(suffix=".npz", dir=path.parent)
@@ -127,8 +160,18 @@ def save_state_npz(path: str | Path, arrays: dict[str, np.ndarray],
     return path
 
 
-def load_state_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
-    """Read back ``(arrays, meta)`` written by :func:`save_state_npz`."""
+def load_state_npz(path: str | Path,
+                   verify: bool = True) -> tuple[dict[str, np.ndarray], dict]:
+    """Read back ``(arrays, meta)`` written by :func:`save_state_npz`.
+
+    When the metadata carries a :data:`PAYLOAD_SHA_KEY` fingerprint
+    (every file written by this version does) and *verify* is on, the
+    payload is re-fingerprinted and a mismatch raises
+    :class:`~repro.integrity.IntegrityError` — the checkpoint store's
+    newest-loadable fallback treats that exactly like an unreadable
+    file: quarantine and fall back, never resume from rotted state.
+    Files written before payload checksums existed load unverified.
+    """
     path = Path(path)
     with np.load(path) as data:
         require(_META_KEY in data.files,
@@ -136,6 +179,14 @@ def load_state_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         meta = json.loads(str(data[_META_KEY]))
         arrays = {k: np.array(data[k]) for k in data.files
                   if k != _META_KEY}
+    expected = meta.get(PAYLOAD_SHA_KEY)
+    if verify and expected is not None:
+        actual = payload_fingerprint(arrays)
+        if actual != expected:
+            raise IntegrityError(
+                f"{path}: payload checksum mismatch (stored "
+                f"{expected[:12]}…, recomputed {actual[:12]}…) — the "
+                f"file was corrupted after it was written", path=path)
     return arrays, meta
 
 

@@ -302,6 +302,15 @@ def _valid_entry(entry: object) -> bool:
                for k, v in probes.items())
 
 
+def valid_cache_entry(entry: object) -> bool:
+    """Whether *entry* is a well-formed tuning-cache record.
+
+    The public face of the read path's validator, shared with the
+    ``repro fsck`` scrubber so both judge entries by the same rules.
+    """
+    return _valid_entry(entry)
+
+
 class TuningCache:
     """Persisted probe decisions, one JSON file, atomic rewrites.
 
@@ -374,6 +383,43 @@ class TuningCache:
         data = self._load()
         data[key] = entry
         self._save(data)
+
+    def scrub(self, repair: bool = False) -> dict:
+        """Audit every entry; optionally drop the invalid ones.
+
+        Detection is read-only (unlike :meth:`get`, which quarantines
+        on sight) so an fsck report pass can run without mutating the
+        cache.  With *repair*, invalid entries are dropped and an
+        unparseable file is quarantined aside, exactly as the read path
+        would.  Returns ``{"exists", "entries", "invalid",
+        "parse_error"}``.
+        """
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {"exists": False, "entries": 0, "invalid": [],
+                    "parse_error": None}
+        except OSError as exc:
+            return {"exists": True, "entries": 0, "invalid": [],
+                    "parse_error": str(exc)}
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise ValueError("cache root must be an object")
+        except ValueError as exc:
+            if repair:
+                self._load()  # reuses the file-quarantine path
+            return {"exists": True, "entries": 0, "invalid": [],
+                    "parse_error": str(exc)}
+        invalid = [k for k in sorted(data) if not _valid_entry(data[k])]
+        if repair and invalid:
+            for key in invalid:
+                del data[key]
+                self.quarantined += 1
+                record_tune_quarantine("entry")
+            self._save(data)
+        return {"exists": True, "entries": len(data), "invalid": invalid,
+                "parse_error": None}
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,7 @@ from .hooks import (
     record_cache_event,
     record_executor_batches,
     record_executor_fallback,
+    record_integrity_event,
     record_iteration,
     record_mttkrp_call,
     record_representation,
@@ -159,6 +160,7 @@ __all__ = [
     "record_cache_event",
     "record_executor_batches",
     "record_executor_fallback",
+    "record_integrity_event",
     "record_tiling",
     "record_representation",
     "record_admm_report",

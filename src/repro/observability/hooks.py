@@ -295,6 +295,39 @@ def record_tune_decision(decision) -> None:
     _emit("tune_decision", {"decision": decision})
 
 
+def record_integrity_event(kind: str, artifact: str = "",
+                           nbytes: int = 0, detail: str = "") -> None:
+    """One storage-integrity event (:mod:`repro.integrity`).
+
+    ``kind`` is the integrity vocabulary — ``"scrub"`` (bytes verified
+    against a manifest; ``nbytes`` counts them), ``"mismatch"`` (a
+    checksum/size verification failed), ``"quarantine"`` (a corrupt
+    artifact was renamed aside as ``.corrupt``), ``"rebuild"`` (a
+    quarantined slab was regenerated from its source tensor),
+    ``"repair"`` (fsck resolved a finding).  ``artifact`` labels the
+    artifact class (``"slab"``, ``"checkpoint"``, ``"tuning-cache"``,
+    ...), so dashboards can tell slab bit-rot from checkpoint bit-rot.
+    The supervisor listens to the pluggable-hook mirror of these events
+    to surface quarantines/rebuilds as GuardEvents in the run's trace.
+    """
+    if not is_enabled():
+        return
+    reg = active_registry()
+    if kind == "scrub":
+        reg.counter("integrity_bytes_scrubbed", artifact=artifact
+                    ).inc(int(nbytes))
+    elif kind == "mismatch":
+        reg.counter("integrity_mismatches", artifact=artifact).inc()
+    elif kind == "quarantine":
+        reg.counter("integrity_quarantines", artifact=artifact).inc()
+    elif kind == "rebuild":
+        reg.counter("integrity_rebuilds", artifact=artifact).inc()
+    elif kind == "repair":
+        reg.counter("integrity_repairs", artifact=artifact).inc()
+    _emit("integrity", {"kind": kind, "artifact": artifact,
+                        "nbytes": int(nbytes), "detail": detail})
+
+
 def record_tune_quarantine(kind: str) -> None:
     """A corrupt tuning-cache file or entry was quarantined."""
     if not is_enabled():

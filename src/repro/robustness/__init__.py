@@ -57,11 +57,17 @@ from .supervisor import (
     supervise_fit,
 )
 from .faults import (
+    STORAGE_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
+    InjectedCrash,
+    ShardCrashPlan,
+    SlabFaultRecord,
+    SlabFaultSpec,
     WorkerFault,
     WorkerFaultPlan,
     WorkerKillPlan,
+    inject_slab_fault,
 )
 
 __all__ = [
@@ -89,7 +95,13 @@ __all__ = [
     "supervise_fit",
     "FaultInjector",
     "FaultSpec",
+    "InjectedCrash",
+    "STORAGE_FAULT_KINDS",
+    "ShardCrashPlan",
+    "SlabFaultRecord",
+    "SlabFaultSpec",
     "WorkerFault",
     "WorkerFaultPlan",
     "WorkerKillPlan",
+    "inject_slab_fault",
 ]

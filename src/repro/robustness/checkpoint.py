@@ -30,7 +30,12 @@ What is checked on resume
   ``time_budget_seconds``, ``callback``) and performance knobs
   (``threads``, ``slab_nnz_target``) may legitimately differ, e.g. to
   extend an exhausted iteration budget,
-* the SHA-1 of the stored factor state itself (corruption detection).
+* the SHA-1 of the stored factor state itself (corruption detection),
+* a whole-payload checksum over **every** stored array — duals, trace
+  history, rhos included — embedded by
+  :func:`repro.core.serialize.save_state_npz` and verified at load
+  time, so bit-rot anywhere in the container quarantines the file and
+  falls back to the next older version instead of resuming from it.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ from ..core.serialize import (
     save_state_npz,
 )
 from ..core.trace import FactorizationTrace, OuterIterationRecord
+from ..observability import record_integrity_event
 from ..tensor.coo import COOTensor
 from ..validation import require
 from .guards import GuardEvent
@@ -369,6 +375,10 @@ class CheckpointStore:
         """Move *path* aside as ``<path>.corrupt``; returns the new name."""
         target = path.with_name(path.name + QUARANTINE_SUFFIX)
         os.replace(path, target)
+        record_integrity_event("mismatch", artifact=path.name,
+                               detail=reason)
+        record_integrity_event("quarantine", artifact=path.name,
+                               detail=reason)
         warnings.warn(
             f"quarantined corrupt checkpoint {path.name} -> "
             f"{target.name}: {reason}",

@@ -25,11 +25,22 @@ Process executor
     the pool calls it back before every batch dispatch and the plan
     ``SIGKILL``\\ s real worker processes — exercising the respawn/
     resubmit path and (relentlessly) the thread-executor fallback.
+
+Storage
+    :func:`inject_slab_fault` damages a sharded-store slab file on disk
+    (:data:`STORAGE_FAULT_KINDS`: a seeded single-bit flip or a seeded
+    truncation), exercising the integrity layer's verified reads;
+    :class:`ShardCrashPlan` aborts ``ShardedTensorStore.create`` before
+    the Nth slab write, proving the torn-write-safe commit (the target
+    never parses as a store).  Both are deterministic functions of
+    their spec, so the differential harness can replay the exact same
+    damage on both sides of a comparison.
 """
 
 from __future__ import annotations
 
 import errno
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -197,6 +208,118 @@ class FaultInjector:
         size = max(path.stat().st_size, 64)
         path.write_bytes(b"\x00repro-injected-corruption\x00" * (size // 27 + 1))
         return True
+
+
+# ----------------------------------------------------------------------
+# Storage faults (sharded-store slab damage + shard crashes)
+# ----------------------------------------------------------------------
+
+#: On-disk damage classes :func:`inject_slab_fault` understands.
+STORAGE_FAULT_KINDS = ("slab_bitflip", "slab_truncate")
+
+
+@dataclass(frozen=True)
+class SlabFaultSpec:
+    """One scheduled slab damage: kind + target slab + seed.
+
+    The damage site is a deterministic function of the spec: ``seed``
+    feeds ``np.random.default_rng``, which picks the byte offset and
+    bit (``slab_bitflip``) or the surviving length (``slab_truncate``).
+    Same spec, same slab bytes → same damage, every time.
+    """
+
+    kind: str
+    mode: int = 0
+    index: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.kind in STORAGE_FAULT_KINDS,
+                f"unknown storage fault kind {self.kind!r}; expected "
+                f"one of {STORAGE_FAULT_KINDS}")
+        require(self.mode >= 0, "mode must be non-negative")
+        require(self.index >= 0, "slab index must be non-negative")
+
+
+@dataclass(frozen=True)
+class SlabFaultRecord:
+    """One slab damage actually applied (the harness's audit log)."""
+
+    kind: str
+    path: Path
+    #: Byte offset flipped (bitflip) or surviving length (truncate).
+    offset: int
+    detail: str
+
+
+def inject_slab_fault(store, spec: SlabFaultSpec) -> SlabFaultRecord:
+    """Damage one slab file of *store* on disk, per *spec*.
+
+    ``slab_bitflip`` flips one bit of one byte; ``slab_truncate`` cuts
+    the file strictly shorter.  Returns the audit record naming exactly
+    what was done.  The store's read path must subsequently either
+    rebuild the slab (source attached) or raise ``IntegrityError`` —
+    never return the damaged bytes.
+    """
+    path = Path(store.slab_path(spec.mode, spec.index))
+    size = path.stat().st_size
+    require(size >= 1, f"{path} is empty; nothing to damage")
+    rng = np.random.default_rng(spec.seed)
+    if spec.kind == "slab_bitflip":
+        offset = int(rng.integers(0, size))
+        bit = int(rng.integers(0, 8))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ (1 << bit)]))
+        return SlabFaultRecord(spec.kind, path, offset,
+                               f"flipped bit {bit} of byte {offset}")
+    keep = int(rng.integers(0, size))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return SlabFaultRecord(spec.kind, path, keep,
+                           f"truncated {size} -> {keep} bytes")
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by :class:`ShardCrashPlan` to abort a shard mid-write."""
+
+
+@dataclass
+class ShardCrashPlan:
+    """Kill a ``ShardedTensorStore.create`` before its Nth slab write.
+
+    Pass the plan as ``create(..., fault_hook=plan)``; it counts slab
+    writes and at the ``at_slab``-th one either raises
+    :class:`InjectedCrash` (default — the checkpoint_enospc style of
+    injection, catchable by the test) or hard-kills the process with
+    ``os._exit`` (``hard=True``, for subprocess-based crash tests where
+    no ``finally`` block may run).  Either way the torn-write contract
+    must hold: the target directory never contains a ``meta.json``, so
+    it never parses as a store.
+    """
+
+    #: 1-based count of slab writes at which the crash fires.
+    at_slab: int = 1
+    #: Exit via ``os._exit`` instead of raising (no cleanup runs).
+    hard: bool = False
+    exit_code: int = 57
+
+    def __post_init__(self) -> None:
+        require(self.at_slab >= 1, "at_slab is 1-based")
+        self.writes = 0
+        self.fired = False
+
+    def __call__(self, rel: str) -> None:
+        self.writes += 1
+        if self.fired or self.writes < self.at_slab:
+            return
+        self.fired = True
+        if self.hard:  # pragma: no cover - exercised via subprocess
+            os._exit(self.exit_code)
+        raise InjectedCrash(
+            f"injected crash before slab write #{self.writes} ({rel!r})")
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,7 @@ import numpy as np
 
 from ..config import DEFAULT_SLAB_NNZ
 from ..core.options import AOADMMOptions
+from ..integrity import IntegrityError
 from ..kernels.dispatch import configure_memoization, memoization_enabled
 from ..observability import (
     Observability,
@@ -301,6 +302,12 @@ class FitSupervisor:
             return "degrade"
         if isinstance(exc, NumericalFaultError):
             return None
+        if isinstance(exc, IntegrityError):
+            # A verified read detected damaged storage mid-fit.  The
+            # evidence is quarantined; a retry resumes from the newest
+            # checksum-valid checkpoint and re-reads (or rebuilds) the
+            # slab — transient from the supervisor's point of view.
+            return "retry"
         if isinstance(exc, OSError):
             return "retry"
         return None
@@ -372,6 +379,19 @@ class FitSupervisor:
             forced_obs.__enter__()
         resume: "str | Path | Checkpoint | None" = self._resume_from
         last_exc: BaseException | None = None
+
+        def integrity_hook(event, payload):
+            # Storage-integrity incidents (quarantine, rebuild, payload
+            # mismatch) become supervisor guard events, so a fit whose
+            # slab was rebuilt mid-run carries the evidence in its
+            # trace.  Scrubs are routine reads — too chatty to log.
+            if event == "integrity" and payload.get("kind") != "scrub":
+                self._guard(f"integrity_{payload.get('kind', '')}",
+                            "observe", 0,
+                            f"{payload.get('artifact', '')}: "
+                            f"{payload.get('detail', '')}")
+
+        add_hook(integrity_hook)
         try:
             for attempt in range(1, sup.max_attempts + 1):
                 self.report.attempts = attempt
@@ -454,6 +474,7 @@ class FitSupervisor:
             raise RetryBudgetExceeded(sup.max_attempts,
                                       last_exc)  # pragma: no cover
         finally:
+            remove_hook(integrity_hook)
             if forced_obs is not None:
                 forced_obs.__exit__(None, None, None)
             self._restore_signal_handlers(previous_handlers)

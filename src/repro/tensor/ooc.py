@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable
 
+from ..integrity import IntegrityError
 from ..observability import record_slab_event
 from ..validation import require
 
@@ -171,8 +172,14 @@ class SlabStreamer:
                 # Consume the prefetch: falls back to a synchronous
                 # load if the async read failed (e.g. a torn-down
                 # prefetch pool) — the bytes are the same either way.
+                # An IntegrityError is NOT a prefetch hiccup: the slab
+                # itself is damaged and unrecoverable, so retrying the
+                # read synchronously would just re-detect it — re-raise
+                # loudly instead of looping on corrupt bytes.
                 try:
                     slab = pending.result()
+                except IntegrityError:
+                    raise
                 except Exception:
                     slab = None
                 nbytes = self.store.slab_nbytes(mode, index)

@@ -94,7 +94,8 @@ class Disagreement:
 
     #: ``"oracle"`` (backend vs dense oracle), ``"bitwise"`` (inside a
     #: bit-identity family), ``"cross"`` (blocked vs unblocked, fit vs
-    #: fit), ``"kkt"`` (certificate violation), or ``"prox"``.
+    #: fit), ``"kkt"`` (certificate violation), ``"prox"``, or
+    #: ``"storage"`` (an integrity contract violated under disk faults).
     kind: str
     case: str
     backend: str
@@ -631,6 +632,150 @@ def compare_fits(case: TensorCase, options_a: AOADMMOptions,
 
 
 # ----------------------------------------------------------------------
+# Storage-fault sweep: no silent wrong answer under disk corruption
+# ----------------------------------------------------------------------
+
+def run_storage_fault_sweep(cases: Sequence[TensorCase], rank: int = 4,
+                            kinds: Sequence[str] | None = None,
+                            max_iterations: int = 4,
+                            seed: int = 0) -> SweepReport:
+    """Prove the storage-integrity contract under injected disk faults.
+
+    For each case the tensor is sharded to a store and a fit is run as
+    the unfaulted anchor.  Then, for every storage fault kind
+    (:data:`repro.robustness.faults.STORAGE_FAULT_KINDS`) and both
+    rebuild postures, a slab is deterministically damaged on disk and
+    the fit re-run:
+
+    * store **with** its source attached — the slab must be
+      quarantined and rebuilt, and the fit must complete **bitwise**
+      identical to the unfaulted anchor;
+    * store **without** a source — the fit must fail loudly with
+      :class:`~repro.integrity.IntegrityError`; completing at all is a
+      silent-wrong-answer finding.
+
+    A kill-during-shard scenario (:class:`ShardCrashPlan`) additionally
+    asserts the torn-write contract: the crashed target never parses as
+    a store, and a clean re-shard fits bit-identically.
+    """
+    import shutil
+    import tempfile
+    import warnings
+    from pathlib import Path
+
+    from ..core.init import init_factors
+    from ..integrity import IntegrityError
+    from ..robustness.faults import (
+        STORAGE_FAULT_KINDS,
+        InjectedCrash,
+        ShardCrashPlan,
+        SlabFaultSpec,
+        inject_slab_fault,
+    )
+    from ..tensor.store import ShardedTensorStore
+
+    if kinds is None:
+        kinds = STORAGE_FAULT_KINDS
+    report = SweepReport()
+    options = AOADMMOptions(rank=rank,
+                            max_outer_iterations=max_iterations)
+    for case_index, case in enumerate(cases):
+        tensor = case.tensor
+        if tensor.nnz == 0:
+            continue  # nothing on disk to damage
+        report.cases += 1
+        init = init_factors(tensor, rank, options.init, seed=case.seed)
+        root = Path(tempfile.mkdtemp(prefix="repro-storage-sweep-"))
+        try:
+            anchor_store = ShardedTensorStore.create(
+                tensor, root / "anchor", slab_nnz_target=32)
+            anchor = fit_aoadmm(anchor_store, options,
+                                initial_factors=[f.copy() for f in init])
+            anchor_store.close()
+            target_mode = case_index % tensor.nmodes
+
+            for ki, kind in enumerate(kinds):
+                for with_source in (True, False):
+                    store_dir = root / f"{kind}-{int(with_source)}"
+                    store = ShardedTensorStore.create(
+                        tensor, store_dir, slab_nnz_target=32)
+                    if not with_source:
+                        store.close()
+                        store = ShardedTensorStore.open(store_dir)
+                    spec = SlabFaultSpec(kind, mode=target_mode, index=0,
+                                         seed=seed + 31 * ki)
+                    inject_slab_fault(store, spec)
+                    label = (f"storage[{kind},"
+                             f"source={'yes' if with_source else 'no'}]")
+                    report.comparisons += 1
+                    try:
+                        with warnings.catch_warnings():
+                            warnings.simplefilter("ignore", RuntimeWarning)
+                            result = fit_aoadmm(
+                                store, options,
+                                initial_factors=[f.copy() for f in init])
+                    except IntegrityError:
+                        # Loud failure — always an acceptable outcome.
+                        store.close()
+                        continue
+                    if not with_source:
+                        report.disagreements.append(Disagreement(
+                            kind="storage", case=case.spec, backend=label,
+                            reference="IntegrityError",
+                            detail="fit over a corrupt store with no "
+                                   "rebuild source completed instead of "
+                                   "failing loudly — silent wrong-answer "
+                                   "path",
+                            max_abs_diff=float("nan"),
+                            replay=replay_command(case.spec)))
+                    else:
+                        sub = compare_factor_sets(
+                            case.spec, "unfaulted", label,
+                            anchor.model.factors, result.model.factors,
+                            bitwise=True)
+                        sub.cases = 0  # already counted above
+                        report.merge(sub)
+                    store.close()
+
+            # Kill-during-shard: the target must never parse as a store.
+            crash_dir = root / "crash"
+            plan = ShardCrashPlan(at_slab=2)
+            report.comparisons += 1
+            try:
+                ShardedTensorStore.create(tensor, crash_dir,
+                                          slab_nnz_target=32,
+                                          fault_hook=plan)
+                crashed = not plan.fired
+            except InjectedCrash:
+                crashed = True
+            if not crashed or ShardedTensorStore.is_store(crash_dir):
+                report.disagreements.append(Disagreement(
+                    kind="storage", case=case.spec,
+                    backend="shard-crash[at_slab=2]",
+                    reference="torn-write contract",
+                    detail="a shard killed mid-write left a directory "
+                           "that parses as a store",
+                    max_abs_diff=float("nan"),
+                    replay=replay_command(case.spec)))
+            else:
+                store = ShardedTensorStore.create(tensor, crash_dir,
+                                                  slab_nnz_target=32)
+                retry = fit_aoadmm(store, options,
+                                   initial_factors=[f.copy()
+                                                    for f in init])
+                sub = compare_factor_sets(
+                    case.spec, "unfaulted", "reshard-after-crash",
+                    anchor.model.factors, retry.model.factors,
+                    bitwise=True)
+                sub.cases = 0  # already counted above
+                report.merge(sub)
+                store.close()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: fuzz entry point and failure replay
 # ----------------------------------------------------------------------
 
@@ -658,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "'serial,process')")
     parser.add_argument("--no-admm", action="store_true",
                         help="skip the blocked-vs-unblocked ADMM sweep")
+    parser.add_argument("--storage-faults", action="store_true",
+                        help="also run the storage-fault sweep (slab "
+                             "bit-rot, truncation, kill-during-shard): "
+                             "faulted fits must be bit-identical after "
+                             "rebuild or fail with IntegrityError")
     parser.add_argument("--replay", metavar="SPEC",
                         help="replay one case from its spec string "
                              "(e.g. 'v1:seed=123:index=7')")
@@ -697,6 +847,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not args.no_admm:
             report.merge(run_admm_sweep(cases, rank=args.rank))
         report.merge(run_prox_sweep(args.seed))
+        if args.storage_faults:
+            # Whole fits per fault kind are expensive — a handful of
+            # cases is plenty to prove the contract each night.
+            report.merge(run_storage_fault_sweep(cases[:6], rank=args.rank,
+                                                 seed=args.seed))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=2)
